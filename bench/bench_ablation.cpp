@@ -1,0 +1,117 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//  1. pJDS block size br (paper: br = warp size, "no matrix-dependent
+//     tuning parameters") — footprint and throughput across br,
+//  2. sliced-ELLPACK sorting window σ (the SELL-C-σ outlook): σ = 1
+//     (Monakov) ... σ = N (pJDS-like),
+//  3. why ELLPACK-style formats exist at all: CSR-scalar on the GPU.
+#include <cstdio>
+
+#include "core/footprint.hpp"
+#include "gpusim/gpu_spmv.hpp"
+#include "matgen/suite.hpp"
+#include "sparse/bellpack.hpp"
+#include "util/ascii.hpp"
+
+using namespace spmvm;
+
+int main() {
+  const auto dev = gpusim::DeviceSpec::tesla_c2070();
+  const auto dlr1 = make_named("DLR1", 16).matrix;
+  const auto samg = make_named("sAMG", 64).matrix;
+
+  std::printf("Ablation 1: pJDS block size br (DP, ECC on)\n\n");
+  AsciiTable t1({"br", "DLR1 fill %", "DLR1 GF/s", "sAMG fill %",
+                 "sAMG GF/s"});
+  for (const index_t br : {1, 4, 8, 16, 32, 64, 128}) {
+    std::vector<std::string> row = {std::to_string(br)};
+    for (const auto* a : {&dlr1, &samg}) {
+      PjdsOptions opt;
+      opt.block_rows = br;
+      const auto p = Pjds<double>::from_csr(*a, opt);
+      const auto r = gpusim::simulate(dev, p, {});
+      row.push_back(fmt(100.0 * p.fill_fraction(), 2));
+      row.push_back(fmt(r.gflops, 1));
+    }
+    t1.add_row(row);
+  }
+  std::printf("%s\n", t1.render().c_str());
+  std::printf("expected: fill grows with br; throughput flat around br = 32 "
+              "(warp size)\n-> confirms \"no matrix-dependent tuning "
+              "parameters\".\n\n");
+
+  std::printf("Ablation 2: sliced-ELLPACK sorting window sigma "
+              "(C = 32, DP, ECC on)\n\n");
+  AsciiTable t2({"sigma", "sAMG fill %", "sAMG GF/s", "sAMG warp eff %"});
+  for (const index_t sigma :
+       {1, 32, 256, 4096, samg.n_rows}) {
+    const auto s = SlicedEll<double>::from_csr(samg, 32, sigma,
+                                               PermuteColumns::yes);
+    const auto r = gpusim::simulate(dev, s, {});
+    t2.add_row({sigma == samg.n_rows ? "N (full sort)" : std::to_string(sigma),
+                fmt(100.0 * s.fill_fraction(), 2), fmt(r.gflops, 1),
+                fmt(100.0 * r.stats.warp_efficiency(), 1)});
+  }
+  std::printf("%s\n", t2.render().c_str());
+  std::printf("expected: sigma = 1 keeps ELLPACK-R-like fill/efficiency; "
+              "larger windows\napproach pJDS — the SELL-C-sigma trade-off of "
+              "the paper's outlook.\n\n");
+
+  std::printf("Ablation 3: CSR-scalar GPU kernel vs GPU formats "
+              "(DLR1, DP, ECC on)\n\n");
+  AsciiTable t3({"format", "GF/s", "bytes/flop"});
+  for (const auto kind :
+       {gpusim::FormatKind::csr_scalar, gpusim::FormatKind::csr_vector,
+        gpusim::FormatKind::ellpack, gpusim::FormatKind::ellpack_r,
+        gpusim::FormatKind::sliced_ell, gpusim::FormatKind::pjds}) {
+    const auto r = gpusim::simulate_format(dev, dlr1, kind);
+    t3.add_row({gpusim::to_string(kind), fmt(r.gflops, 1),
+                fmt(r.code_balance, 2)});
+  }
+  std::printf("%s\n", t3.render().c_str());
+  std::printf("expected: uncoalesced CSR-scalar far below every "
+              "ELLPACK-family format;\nCSR-vector competitive only because "
+              "DLR1 rows are long.\n\n");
+
+  std::printf("Ablation 4: ELLR-T threads-per-row sweep (DP, ECC on) — the "
+              "tuning parameter\npJDS does without\n\n");
+  {
+    AsciiTable tt({"T", "DLR1 GF/s", "sAMG GF/s"});
+    const auto e_dlr1 = Ellpack<double>::from_csr(dlr1, 32);
+    const auto e_samg = Ellpack<double>::from_csr(samg, 32);
+    for (const int t : {1, 2, 4, 8, 16, 32}) {
+      tt.add_row({std::to_string(t),
+                  fmt(gpusim::simulate_ellr_t(dev, e_dlr1, t).gflops, 1),
+                  fmt(gpusim::simulate_ellr_t(dev, e_samg, t).gflops, 1)});
+    }
+    std::printf("%s\n", tt.render().c_str());
+    std::printf("expected: the optimal T differs per matrix (long-row DLR1 "
+                "likes larger T,\nshort-row sAMG degrades) — ELLR-T needs "
+                "per-matrix tuning, pJDS does not.\n\n");
+  }
+
+  std::printf("Ablation 5: BELLPACK (5x5 tiles) vs pJDS — a priori block "
+              "structure\n\n");
+  const auto dlr2 = make_named("DLR2", 64).matrix;
+  AsciiTable t4({"matrix", "format", "device bytes/nnz (DP)", "fill %"});
+  for (const auto* item : {&dlr2, &samg}) {
+    const char* mname = item == &dlr2 ? "DLR2 (5x5 blocks)" : "sAMG (unstructured)";
+    const auto bell = Bellpack<double>::from_csr(*item, 5, 5, 32);
+    const auto pjds = Pjds<double>::from_csr(*item);
+    t4.add_row({mname, "BELLPACK 5x5",
+                fmt(static_cast<double>(bell.bytes()) /
+                        static_cast<double>(item->nnz()), 2),
+                fmt(100.0 * bell.fill_fraction(), 1)});
+    t4.add_row({mname, "pJDS",
+                fmt(static_cast<double>(pjds.bytes()) /
+                        static_cast<double>(item->nnz()), 2),
+                fmt(100.0 * pjds.fill_fraction(), 1)});
+  }
+  std::printf("%s\n", t4.render().c_str());
+  std::printf("expected: even with perfectly matching 5x5 tiles (DLR2), "
+              "BELLPACK's per-tile\nindex savings cannot offset its "
+              "ELLPACK-style block-row padding, and on a\ngeneral matrix "
+              "(sAMG) the tiles store almost only zeros — the paper's "
+              "rationale\nfor a structure-agnostic format with no tuning "
+              "parameters.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 4 reproduction: event timeline of one task-mode spMVM iteration —
+// dedicated communication thread (thread 0), kernel-launch thread
+// (thread 1) and the GPGPU — for a DLR1-like rank at two scales of
+// communication intensity.
+#include <cstdio>
+
+#include "dist/cluster_model.hpp"
+#include "matgen/suite.hpp"
+
+using namespace spmvm;
+using namespace spmvm::dist;
+
+namespace {
+void show(const char* title, const Csr<double>& a, int nodes, int rank) {
+  const auto part = partition_balanced_nnz(a, nodes);
+  const auto d = distribute(a, part, rank);
+  const auto c = ClusterSpec::dirac();
+  const auto t = node_timing(c, d);
+  std::printf("%s (rank %d of %d; %d peers, %s halo elements)\n", title, rank,
+              nodes, t.n_peers, std::to_string(d.n_halo).c_str());
+  std::printf("%s\n", task_mode_timeline(c, t).render(70).c_str());
+  std::printf("  t_local %.1f us | t_comm %.1f us | t_down+t_up %.1f us | "
+              "t_nonlocal %.1f us\n",
+              t.t_local * 1e6, t.t_comm * 1e6, (t.t_down + t.t_up) * 1e6,
+              t.t_nonlocal * 1e6);
+  std::printf("  iteration: task %.1f us, naive %.1f us, vector %.1f us\n\n",
+              t.iteration_seconds(c, CommScheme::task_mode) * 1e6,
+              t.iteration_seconds(c, CommScheme::naive_overlap) * 1e6,
+              t.iteration_seconds(c, CommScheme::vector_mode) * 1e6);
+}
+}  // namespace
+
+int main() {
+  std::printf("Fig. 4: task-mode event timeline (dedicated host thread for "
+              "asynchronous MPI)\n\n");
+  const auto a = make_named("DLR1", 8).matrix;
+  show("communication well hidden (4 nodes)", a, 4, 1);
+  show("strong-scaling regime (32 nodes)", a, 32, 15);
+  std::printf("paper claim: the local spMVM on the GPGPU overlaps the entire "
+              "gather/\nexchange/upload chain of thread 0; only the non-local "
+              "kernel remains exposed.\n");
+  return 0;
+}

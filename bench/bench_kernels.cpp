@@ -1,0 +1,139 @@
+// google-benchmark microbenchmarks of the *host* spMVM kernels for every
+// storage format (the CPU reference implementations behind the library).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/pjds_spmv.hpp"
+#include "core/spmmv.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/spmv_host.hpp"
+
+using namespace spmvm;
+
+namespace {
+
+const Csr<double>& test_matrix() {
+  static const Csr<double> a = [] {
+    GenConfig cfg;
+    cfg.scale = 128;
+    return make_samg<double>(cfg);
+  }();
+  return a;
+}
+
+struct Vectors {
+  std::vector<double> x;
+  std::vector<double> y;
+  explicit Vectors(const Csr<double>& a)
+      : x(static_cast<std::size_t>(a.n_cols), 1.0),
+        y(static_cast<std::size_t>(a.n_rows)) {}
+};
+
+void report(benchmark::State& state, offset_t nnz) {
+  state.counters["GF/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(nnz) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+void BM_SpmvCsr(benchmark::State& state) {
+  const auto& a = test_matrix();
+  Vectors v(a);
+  for (auto _ : state) {
+    spmv(a, std::span<const double>(v.x), std::span<double>(v.y));
+    benchmark::DoNotOptimize(v.y.data());
+  }
+  report(state, a.nnz());
+}
+BENCHMARK(BM_SpmvCsr);
+
+void BM_SpmvEllpackPlain(benchmark::State& state) {
+  const auto& a = test_matrix();
+  const auto e = Ellpack<double>::from_csr(a, 32);
+  Vectors v(a);
+  for (auto _ : state) {
+    spmv_ellpack(e, std::span<const double>(v.x), std::span<double>(v.y));
+    benchmark::DoNotOptimize(v.y.data());
+  }
+  report(state, a.nnz());
+}
+BENCHMARK(BM_SpmvEllpackPlain);
+
+void BM_SpmvEllpackR(benchmark::State& state) {
+  const auto& a = test_matrix();
+  const auto e = Ellpack<double>::from_csr(a, 32);
+  Vectors v(a);
+  for (auto _ : state) {
+    spmv_ellpack_r(e, std::span<const double>(v.x), std::span<double>(v.y));
+    benchmark::DoNotOptimize(v.y.data());
+  }
+  report(state, a.nnz());
+}
+BENCHMARK(BM_SpmvEllpackR);
+
+void BM_SpmvJds(benchmark::State& state) {
+  const auto& a = test_matrix();
+  const auto j = Jds<double>::from_csr(a, PermuteColumns::yes);
+  Vectors v(a);
+  for (auto _ : state) {
+    spmv(j, std::span<const double>(v.x), std::span<double>(v.y));
+    benchmark::DoNotOptimize(v.y.data());
+  }
+  report(state, a.nnz());
+}
+BENCHMARK(BM_SpmvJds);
+
+void BM_SpmvSlicedEll(benchmark::State& state) {
+  const auto& a = test_matrix();
+  const auto s = SlicedEll<double>::from_csr(a, 32);
+  Vectors v(a);
+  for (auto _ : state) {
+    spmv(s, std::span<const double>(v.x), std::span<double>(v.y));
+    benchmark::DoNotOptimize(v.y.data());
+  }
+  report(state, a.nnz());
+}
+BENCHMARK(BM_SpmvSlicedEll);
+
+void BM_SpmvPjds(benchmark::State& state) {
+  const auto& a = test_matrix();
+  PjdsOptions opt;
+  opt.block_rows = static_cast<index_t>(state.range(0));
+  const auto p = Pjds<double>::from_csr(a, opt);
+  Vectors v(a);
+  for (auto _ : state) {
+    spmv(p, std::span<const double>(v.x), std::span<double>(v.y));
+    benchmark::DoNotOptimize(v.y.data());
+  }
+  report(state, a.nnz());
+}
+BENCHMARK(BM_SpmvPjds)->Arg(1)->Arg(32)->Arg(128);
+
+void BM_SpmmvCsr(benchmark::State& state) {
+  const auto& a = test_matrix();
+  const int k = static_cast<int>(state.range(0));
+  std::vector<double> x(static_cast<std::size_t>(a.n_cols) * k, 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.n_rows) * k);
+  for (auto _ : state) {
+    spmmv(a, std::span<const double>(x), std::span<double>(y), k);
+    benchmark::DoNotOptimize(y.data());
+  }
+  report(state, a.nnz() * k);
+}
+BENCHMARK(BM_SpmmvCsr)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_PjdsBuild(benchmark::State& state) {
+  const auto& a = test_matrix();
+  for (auto _ : state) {
+    auto p = Pjds<double>::from_csr(a);
+    benchmark::DoNotOptimize(p.val.data());
+  }
+  state.counters["nnz/s"] = benchmark::Counter(
+      static_cast<double>(a.nnz()) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_PjdsBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Device pipeline: a complete GPU-resident solver workflow on the
+// simulated card. The matrix is uploaded once in pJDS, CG runs with the
+// spMVM dispatched through the device runtime (correct numerics, modeled
+// timing), and the example reports where the simulated device time went —
+// including the difference between shuttling vectors over PCIe every
+// iteration and keeping them resident (Sec. III's discussion).
+#include <cstdio>
+#include <memory>
+
+#include "gpusim/device_runtime.hpp"
+#include "matgen/generators.hpp"
+#include "solver/cg.hpp"
+#include "sparse/matrix_stats.hpp"
+
+using namespace spmvm;
+
+namespace {
+
+solver::CgResult run_cg_on_device(std::shared_ptr<gpusim::DeviceRuntime> dev,
+                                  const Csr<double>& a, bool resident) {
+  auto op_dev =
+      std::make_shared<gpusim::DeviceSpmv<double>>(dev, a,
+                                                   gpusim::FormatKind::pjds);
+  const solver::Operator<double> op(
+      a.n_rows, [op_dev, resident](std::span<const double> x,
+                                   std::span<double> y) {
+        op_dev->apply(x, y, resident);
+      });
+  std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
+  std::vector<double> x(b.size(), 0.0);
+  return solver::cg(op, std::span<const double>(b), std::span<double>(x),
+                    1e-8, 2000);
+}
+
+}  // namespace
+
+int main() {
+  const auto a = make_banded<double>(120000, 8);
+  std::printf("%s\n\n",
+              format_stats("banded SPD", compute_stats(a)).c_str());
+
+  for (const bool resident : {false, true}) {
+    auto dev = std::make_shared<gpusim::DeviceRuntime>(
+        gpusim::DeviceSpec::tesla_c2070());
+    const auto r = run_cg_on_device(dev, a, resident);
+    std::printf("CG on simulated %s, vectors %s:\n",
+                dev->spec().name.c_str(),
+                resident ? "device-resident" : "shuttled over PCIe");
+    std::printf("  converged: %s after %d iterations (residual %.2e)\n",
+                r.converged ? "yes" : "NO", r.iterations, r.residual_norm);
+    std::printf("  simulated device time: %.2f ms  (kernels %.2f ms, "
+                "transfers %.2f ms)\n\n",
+                dev->elapsed_seconds() * 1e3, dev->kernel_seconds() * 1e3,
+                dev->transfer_seconds() * 1e3);
+  }
+  std::printf("Keeping the vectors on the device removes the per-iteration "
+              "PCIe cost —\nthe paper's motivation for running the whole "
+              "iterative scheme on the GPGPU.\n");
+  return 0;
+}

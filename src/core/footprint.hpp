@@ -1,0 +1,67 @@
+// Memory footprint accounting across storage formats (Table I's
+// "data reduction" row and the storage sizes of Fig. 2).
+#pragma once
+
+#include "core/pjds.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ellpack.hpp"
+#include "sparse/jds.hpp"
+#include "sparse/sliced_ell.hpp"
+
+namespace spmvm {
+
+/// Byte breakdown of one matrix representation on the device, split by
+/// the scalar size so SP/DP footprints can both be reported.
+struct Footprint {
+  offset_t stored_entries = 0;  // matrix entries incl. zero fill
+  offset_t true_nnz = 0;
+  std::size_t aux_bytes = 0;  // row_len / col_start / slice_ptr / row_ptr
+
+  std::size_t value_bytes(std::size_t scalar_size) const {
+    return static_cast<std::size_t>(stored_entries) * scalar_size;
+  }
+  std::size_t index_bytes() const {
+    return static_cast<std::size_t>(stored_entries) * sizeof(index_t);
+  }
+  std::size_t total_bytes(std::size_t scalar_size) const {
+    return value_bytes(scalar_size) + index_bytes() + aux_bytes;
+  }
+  /// Fill entries relative to true non-zeros (0 = perfectly compact).
+  double overhead_vs_minimum() const {
+    return true_nnz == 0 ? 0.0
+                         : static_cast<double>(stored_entries - true_nnz) /
+                               static_cast<double>(true_nnz);
+  }
+};
+
+template <class T>
+Footprint footprint(const Csr<T>& a);
+template <class T>
+Footprint footprint(const Ellpack<T>& a, bool with_row_len);
+template <class T>
+Footprint footprint(const Jds<T>& a);
+template <class T>
+Footprint footprint(const SlicedEll<T>& a);
+template <class T>
+Footprint footprint(const Pjds<T>& a);
+
+/// Table I, first row: percentage of ELLPACK storage saved by pJDS,
+/// 100 * (1 - stored_pJDS / stored_ELLPACK), counted in matrix entries
+/// (values + indices scale identically).
+template <class T>
+double data_reduction_percent(const Pjds<T>& pjds, const Ellpack<T>& ell);
+
+#define SPMVM_EXTERN_FOOTPRINT(T)                                     \
+  extern template Footprint footprint(const Csr<T>&);                 \
+  extern template Footprint footprint(const Ellpack<T>&, bool);       \
+  extern template Footprint footprint(const Jds<T>&);                 \
+  extern template Footprint footprint(const SlicedEll<T>&);           \
+  extern template Footprint footprint(const Pjds<T>&);                \
+  extern template double data_reduction_percent(const Pjds<T>&,       \
+                                                const Ellpack<T>&)
+
+SPMVM_EXTERN_FOOTPRINT(float);
+SPMVM_EXTERN_FOOTPRINT(double);
+#undef SPMVM_EXTERN_FOOTPRINT
+
+}  // namespace spmvm

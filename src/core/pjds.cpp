@@ -1,0 +1,130 @@
+#include "core/pjds.hpp"
+
+#include <algorithm>
+
+#include "sparse/convert.hpp"
+#include "util/error.hpp"
+
+namespace spmvm {
+
+template <class T>
+Pjds<T> Pjds<T>::from_csr(const Csr<T>& a, const PjdsOptions& opt) {
+  SPMVM_REQUIRE(opt.block_rows >= 1, "block_rows must be >= 1");
+  Pjds<T> m;
+  m.n_rows = a.n_rows;
+  m.n_cols = a.n_cols;
+  m.block_rows = opt.block_rows;
+  m.padded_rows =
+      ((a.n_rows + opt.block_rows - 1) / opt.block_rows) * opt.block_rows;
+  m.width = a.max_row_len();
+  m.nnz = a.nnz();
+  m.columns_permuted = opt.permute_columns == PermuteColumns::yes;
+
+  // "sort" step: full descending sort by row length (stable).
+  std::vector<index_t> lens(static_cast<std::size_t>(a.n_rows));
+  for (index_t i = 0; i < a.n_rows; ++i)
+    lens[static_cast<std::size_t>(i)] = a.row_len(i);
+  m.perm = Permutation::sort_descending(lens, std::max<index_t>(a.n_rows, 1));
+  const Csr<T> p = permute_csr(a, m.perm, opt.permute_columns);
+
+  m.row_len.assign(static_cast<std::size_t>(m.padded_rows), index_t{0});
+  for (index_t i = 0; i < a.n_rows; ++i)
+    m.row_len[static_cast<std::size_t>(i)] = p.row_len(i);
+
+  // "pad" step: each block of br rows is padded to its first (longest) row;
+  // phantom rows past n_rows belong to the last block and are all fill.
+  const index_t n_blocks = m.padded_rows / m.block_rows;
+  std::vector<index_t> block_width(static_cast<std::size_t>(n_blocks), 0);
+  for (index_t b = 0; b < n_blocks; ++b) {
+    const index_t first = b * m.block_rows;
+    if (first < m.n_rows)
+      block_width[static_cast<std::size_t>(b)] =
+          m.row_len[static_cast<std::size_t>(first)];
+  }
+
+  // Jagged diagonal j contains all rows whose *padded* length exceeds j;
+  // padded lengths are non-increasing (full sort), so those are rows
+  // [0, L_j).
+  m.col_start.assign(static_cast<std::size_t>(m.width) + 1, 0);
+  for (index_t j = 0; j < m.width; ++j) {
+    index_t blocks_active = 0;
+    while (blocks_active < n_blocks &&
+           block_width[static_cast<std::size_t>(blocks_active)] > j)
+      ++blocks_active;
+    m.col_start[static_cast<std::size_t>(j) + 1] =
+        m.col_start[static_cast<std::size_t>(j)] +
+        static_cast<offset_t>(blocks_active) * m.block_rows;
+  }
+
+  const std::size_t total = static_cast<std::size_t>(m.col_start.back());
+  m.val.assign(total, T{0});
+  m.col_idx.assign(total, index_t{0});
+  for (index_t i = 0; i < m.n_rows; ++i) {
+    const offset_t rb = p.row_ptr[static_cast<std::size_t>(i)];
+    const index_t len = m.row_len[static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < len; ++j) {
+      const std::size_t dst =
+          static_cast<std::size_t>(m.col_start[static_cast<std::size_t>(j)] + i);
+      m.val[dst] = p.val[static_cast<std::size_t>(rb + j)];
+      m.col_idx[dst] = p.col_idx[static_cast<std::size_t>(rb + j)];
+    }
+  }
+  return m;
+}
+
+template <class T>
+index_t Pjds<T>::padded_row_len(index_t i) const {
+  SPMVM_REQUIRE(i >= 0 && i < padded_rows, "row index out of range");
+  const index_t first = (i / block_rows) * block_rows;
+  return first < n_rows ? row_len[static_cast<std::size_t>(first)] : 0;
+}
+
+template <class T>
+std::size_t Pjds<T>::bytes() const {
+  return val.size() * sizeof(T) + col_idx.size() * sizeof(index_t) +
+         row_len.size() * sizeof(index_t) +
+         col_start.size() * sizeof(offset_t);
+}
+
+template <class T>
+double Pjds<T>::fill_fraction() const {
+  if (stored_entries() == 0) return 0.0;
+  return 1.0 -
+         static_cast<double>(nnz) / static_cast<double>(stored_entries());
+}
+
+template <class T>
+void Pjds<T>::validate() const {
+  SPMVM_REQUIRE(col_start.size() == static_cast<std::size_t>(width) + 1,
+                "col_start size mismatch");
+  SPMVM_REQUIRE(val.size() == static_cast<std::size_t>(stored_entries()),
+                "val size mismatch");
+  SPMVM_REQUIRE(col_idx.size() == val.size(), "col_idx size mismatch");
+  SPMVM_REQUIRE(row_len.size() == static_cast<std::size_t>(padded_rows),
+                "row_len size mismatch");
+  offset_t counted = 0;
+  for (index_t i = 0; i < padded_rows; ++i) {
+    SPMVM_REQUIRE(i < n_rows || row_len[static_cast<std::size_t>(i)] == 0,
+                  "phantom rows must be empty");
+    SPMVM_REQUIRE(row_len[static_cast<std::size_t>(i)] <= padded_row_len(i),
+                  "row exceeds its block width");
+    counted += row_len[static_cast<std::size_t>(i)];
+  }
+  SPMVM_REQUIRE(counted == nnz, "nnz mismatch");
+  for (index_t i = 1; i < n_rows; ++i)
+    SPMVM_REQUIRE(row_len[static_cast<std::size_t>(i - 1)] >=
+                      row_len[static_cast<std::size_t>(i)],
+                  "row lengths must be non-increasing after the sort");
+  for (index_t j = 1; j < width; ++j)
+    SPMVM_REQUIRE(diag_len(j - 1) >= diag_len(j),
+                  "diagonal lengths must be non-increasing");
+  // Every diagonal length is a whole number of blocks.
+  for (index_t j = 0; j < width; ++j)
+    SPMVM_REQUIRE(diag_len(j) % block_rows == 0,
+                  "diagonal length must be a block multiple");
+}
+
+template struct Pjds<float>;
+template struct Pjds<double>;
+
+}  // namespace spmvm

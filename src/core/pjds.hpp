@@ -1,0 +1,77 @@
+// pJDS — "padded Jagged Diagonals Storage", the paper's contribution
+// (Sec. II-A, Fig. 1).
+//
+// Construction pipeline:
+//   1. compress rows leftwards (ELLPACK view of a CSR matrix),
+//   2. "sort":  order rows by descending non-zero count (stable, full sort),
+//   3. "pad":   pad each block of `block_rows` (= br, ideally the warp
+//               size) consecutive rows to the longest row in the block,
+//   4. store the resulting jagged diagonals consecutively, column-by-
+//      column, recording each diagonal's start offset in col_start[].
+//
+// Compared to ELLPACK(-R) this eliminates almost all zero fill while
+// keeping warp-coalesced loads; the price is a row permutation, which
+// iterative solvers apply once before and once after the solve.
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "sparse/permutation.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace spmvm {
+
+struct PjdsOptions {
+  /// Rows per padding block (br). The paper recommends the warp size (32).
+  index_t block_rows = 32;
+  /// Relabel columns with the row permutation (symmetric permutation);
+  /// required for solvers that iterate in the permuted basis. Needs a
+  /// square matrix.
+  PermuteColumns permute_columns = PermuteColumns::yes;
+};
+
+template <class T>
+struct Pjds {
+  index_t n_rows = 0;
+  index_t n_cols = 0;
+  index_t padded_rows = 0;  // n_rows rounded up to block_rows
+  index_t block_rows = 0;   // br
+  index_t width = 0;        // number of jagged diagonals == N^max_nzr
+  offset_t nnz = 0;         // true non-zeros
+  Permutation perm;         // descending row-length order
+  bool columns_permuted = false;  // built with PermuteColumns::yes?
+
+  /// Start offset of each jagged diagonal (width + 1 entries; the paper's
+  /// col_start[] plus an end sentinel). Diagonal j spans rows
+  /// [0, col_start[j+1]-col_start[j]).
+  AlignedVector<offset_t> col_start;
+  AlignedVector<T> val;            // col_start.back() entries (fill included)
+  AlignedVector<index_t> col_idx;  // same layout; fill points at column 0
+  AlignedVector<index_t> row_len;  // true length per permuted row (rowmax[])
+
+  static Pjds from_csr(const Csr<T>& a, const PjdsOptions& opt = {});
+
+  /// Rows participating in diagonal j (padded lengths included).
+  index_t diag_len(index_t j) const {
+    return static_cast<index_t>(col_start[static_cast<std::size_t>(j) + 1] -
+                                col_start[static_cast<std::size_t>(j)]);
+  }
+
+  /// Block-padded length of permuted row i (width of its block).
+  index_t padded_row_len(index_t i) const;
+
+  /// Stored entries including the (block-local) zero fill.
+  offset_t stored_entries() const { return col_start.back(); }
+
+  /// Device bytes: val + col_idx + row_len + col_start.
+  std::size_t bytes() const;
+
+  /// Fraction of stored entries that are zero fill.
+  double fill_fraction() const;
+
+  void validate() const;
+};
+
+extern template struct Pjds<float>;
+extern template struct Pjds<double>;
+
+}  // namespace spmvm

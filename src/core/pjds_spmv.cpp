@@ -1,0 +1,88 @@
+#include "core/pjds_spmv.hpp"
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace spmvm {
+
+namespace {
+template <class T>
+void check_shapes(const Pjds<T>& a, std::span<const T> x, std::span<T> y) {
+  SPMVM_REQUIRE(x.size() >= static_cast<std::size_t>(a.n_cols),
+                "input vector too short");
+  SPMVM_REQUIRE(y.size() >= static_cast<std::size_t>(a.n_rows),
+                "output vector too short");
+}
+}  // namespace
+
+template <class T>
+void spmv(const Pjds<T>& a, std::span<const T> x, std::span<T> y,
+          int n_threads) {
+  check_shapes(a, x, y);
+  parallel_for(static_cast<std::size_t>(a.n_rows), n_threads,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   T acc{0};
+                   const index_t len = a.row_len[i];
+                   for (index_t j = 0; j < len; ++j) {
+                     const std::size_t k = static_cast<std::size_t>(
+                         a.col_start[static_cast<std::size_t>(j)] +
+                         static_cast<offset_t>(i));
+                     acc += a.val[k] *
+                            x[static_cast<std::size_t>(a.col_idx[k])];
+                   }
+                   y[i] = acc;
+                 }
+               });
+}
+
+template <class T>
+void spmv_axpby(const Pjds<T>& a, std::span<const T> x, std::span<T> y,
+                T alpha, T beta, int n_threads) {
+  check_shapes(a, x, y);
+  parallel_for(static_cast<std::size_t>(a.n_rows), n_threads,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   T acc{0};
+                   const index_t len = a.row_len[i];
+                   for (index_t j = 0; j < len; ++j) {
+                     const std::size_t k = static_cast<std::size_t>(
+                         a.col_start[static_cast<std::size_t>(j)] +
+                         static_cast<offset_t>(i));
+                     acc += a.val[k] *
+                            x[static_cast<std::size_t>(a.col_idx[k])];
+                   }
+                   y[i] = beta * y[i] + alpha * acc;
+                 }
+               });
+}
+
+template <class T>
+PjdsOperator<T>::PjdsOperator(Pjds<T> a)
+    : a_(std::move(a)),
+      columns_permuted_(a_.columns_permuted),
+      x_perm_(static_cast<std::size_t>(a_.n_cols)),
+      y_perm_(static_cast<std::size_t>(a_.n_rows)) {}
+
+template <class T>
+void PjdsOperator<T>::apply(std::span<const T> x, std::span<T> y) const {
+  std::span<const T> input = x;
+  if (columns_permuted_) {
+    a_.perm.to_permuted(x, std::span<T>(x_perm_));
+    input = std::span<const T>(x_perm_);
+  }
+  spmv(a_, input, std::span<T>(y_perm_));
+  a_.perm.from_permuted(std::span<const T>(y_perm_), y);
+}
+
+#define SPMVM_INSTANTIATE_PJDS(T)                                       \
+  template void spmv(const Pjds<T>&, std::span<const T>, std::span<T>,  \
+                     int);                                              \
+  template void spmv_axpby(const Pjds<T>&, std::span<const T>,          \
+                           std::span<T>, T, T, int);                    \
+  template class PjdsOperator<T>
+
+SPMVM_INSTANTIATE_PJDS(float);
+SPMVM_INSTANTIATE_PJDS(double);
+
+}  // namespace spmvm

@@ -1,0 +1,56 @@
+// The pJDS spMVM kernel (Listing 2 of the paper) and a convenience
+// operator that hides the permuted basis from callers.
+#pragma once
+
+#include <span>
+
+#include "core/pjds.hpp"
+
+namespace spmvm {
+
+/// y_perm = A_perm·x. When the format was built with PermuteColumns::yes,
+/// x must be in the permuted basis; otherwise x is in the original basis
+/// and only the result is permuted.
+template <class T>
+void spmv(const Pjds<T>& a, std::span<const T> x, std::span<T> y,
+          int n_threads = 1);
+
+/// y_perm = β·y_perm + α·A_perm·x — solver building block.
+template <class T>
+void spmv_axpby(const Pjds<T>& a, std::span<const T> x, std::span<T> y,
+                T alpha, T beta, int n_threads = 1);
+
+/// Wrapper that performs y = A·x entirely in the *original* basis by
+/// permuting on entry and exit. Used for one-shot products and tests; for
+/// iterative solvers prefer staying permuted (see solver/).
+template <class T>
+class PjdsOperator {
+ public:
+  explicit PjdsOperator(Pjds<T> a);
+
+  index_t n_rows() const { return a_.n_rows; }
+  index_t n_cols() const { return a_.n_cols; }
+  const Pjds<T>& format() const { return a_; }
+
+  /// y = A·x in the original basis.
+  void apply(std::span<const T> x, std::span<T> y) const;
+
+ private:
+  Pjds<T> a_;
+  bool columns_permuted_;
+  mutable AlignedVector<T> x_perm_;
+  mutable AlignedVector<T> y_perm_;
+};
+
+#define SPMVM_EXTERN_PJDS(T)                                             \
+  extern template void spmv(const Pjds<T>&, std::span<const T>,          \
+                            std::span<T>, int);                          \
+  extern template void spmv_axpby(const Pjds<T>&, std::span<const T>,    \
+                                  std::span<T>, T, T, int);              \
+  extern template class PjdsOperator<T>
+
+SPMVM_EXTERN_PJDS(float);
+SPMVM_EXTERN_PJDS(double);
+#undef SPMVM_EXTERN_PJDS
+
+}  // namespace spmvm

@@ -1,0 +1,43 @@
+// Multi-vector spMVM (spMMV): Y = A·X for a block of k right-hand sides.
+//
+// Block Krylov methods amortize the matrix traffic over several vectors,
+// dividing the dominant (s+4)-bytes-per-non-zero term of Eq. 1 by k —
+// the standard remedy when a single spMVM is bandwidth-bound. Vectors
+// are stored row-major (x[i*k + v]), so one matrix entry multiplies k
+// consecutive values.
+#pragma once
+
+#include <span>
+
+#include "core/pjds.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvm {
+
+/// Y = A·X with k interleaved vectors: X has n_cols*k entries, Y has
+/// n_rows*k, both row-major by vector index.
+template <class T>
+void spmmv(const Csr<T>& a, std::span<const T> x, std::span<T> y, int k,
+           int n_threads = 1);
+
+/// pJDS variant (same basis conventions as the single-vector kernel).
+template <class T>
+void spmmv(const Pjds<T>& a, std::span<const T> x, std::span<T> y, int k,
+           int n_threads = 1);
+
+/// Theoretical balance improvement of k-vector spMMV over spMVM (Eq. 1
+/// with matrix terms divided by k): bytes/flop.
+double spmmv_code_balance(std::size_t scalar_size, double alpha, double nnzr,
+                          int k);
+
+#define SPMVM_EXTERN_SPMMV(T)                                            \
+  extern template void spmmv(const Csr<T>&, std::span<const T>,         \
+                             std::span<T>, int, int);                    \
+  extern template void spmmv(const Pjds<T>&, std::span<const T>,        \
+                             std::span<T>, int, int)
+
+SPMVM_EXTERN_SPMMV(float);
+SPMVM_EXTERN_SPMMV(double);
+#undef SPMVM_EXTERN_SPMMV
+
+}  // namespace spmvm

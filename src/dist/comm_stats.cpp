@@ -1,0 +1,61 @@
+#include "dist/comm_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/ascii.hpp"
+
+namespace spmvm::dist {
+
+std::uint64_t PartitionStats::wire_bytes(std::size_t scalar_size) const {
+  return static_cast<std::uint64_t>(avg_send * nodes) * scalar_size;
+}
+
+double PartitionStats::nonlocal_fraction() const {
+  return total_nnz == 0 ? 0.0
+                        : static_cast<double>(nonlocal_nnz) /
+                              static_cast<double>(total_nnz);
+}
+
+template <class T>
+PartitionStats analyze_partition(const Csr<T>& a, const RowPartition& part) {
+  PartitionStats s;
+  s.nodes = part.n_parts();
+  offset_t max_rank_nnz = 0;
+  for (int r = 0; r < part.n_parts(); ++r) {
+    const auto d = distribute(a, part, r);
+    const offset_t rank_nnz = d.local.nnz() + d.nonlocal.nnz();
+    s.total_nnz += rank_nnz;
+    s.nonlocal_nnz += d.nonlocal.nnz();
+    max_rank_nnz = std::max(max_rank_nnz, rank_nnz);
+    s.max_halo = std::max(s.max_halo, d.n_halo);
+    s.avg_halo += d.n_halo;
+    s.max_send = std::max(s.max_send, d.send_total());
+    s.avg_send += d.send_total();
+    s.max_peers = std::max(s.max_peers, d.n_peers());
+    s.avg_peers += d.n_peers();
+  }
+  s.avg_halo /= s.nodes;
+  s.avg_send /= s.nodes;
+  s.avg_peers /= s.nodes;
+  if (s.total_nnz > 0)
+    s.nnz_imbalance = static_cast<double>(max_rank_nnz) * s.nodes /
+                      static_cast<double>(s.total_nnz);
+  return s;
+}
+
+std::string format_stats(const PartitionStats& s) {
+  std::ostringstream os;
+  os << s.nodes << " ranks: halo avg " << fmt(s.avg_halo, 0) << " (max "
+     << s.max_halo << "), peers avg " << fmt(s.avg_peers, 1) << " (max "
+     << s.max_peers << "), nonlocal " << fmt(100.0 * s.nonlocal_fraction(), 1)
+     << "% of nnz, imbalance " << fmt(s.nnz_imbalance, 2);
+  return os.str();
+}
+
+template PartitionStats analyze_partition(const Csr<float>&,
+                                          const RowPartition&);
+template PartitionStats analyze_partition(const Csr<double>&,
+                                          const RowPartition&);
+
+}  // namespace spmvm::dist

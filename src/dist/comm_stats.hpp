@@ -1,0 +1,42 @@
+// Aggregate communication statistics of a partitioned matrix — the
+// quantities that explain why a strong-scaling curve bends (Fig. 5):
+// halo volume, peer counts, and nnz load balance per rank.
+#pragma once
+
+#include <string>
+
+#include "dist/dist_matrix.hpp"
+
+namespace spmvm::dist {
+
+struct PartitionStats {
+  int nodes = 0;
+  offset_t total_nnz = 0;
+  offset_t nonlocal_nnz = 0;   // entries referencing remote columns
+  index_t max_halo = 0;        // largest per-rank halo
+  double avg_halo = 0.0;
+  index_t max_send = 0;
+  double avg_send = 0.0;
+  int max_peers = 0;
+  double avg_peers = 0.0;
+  double nnz_imbalance = 1.0;  // max over avg per-rank nnz
+
+  /// Bytes on the wire per spMVM iteration (sends only; receives equal).
+  std::uint64_t wire_bytes(std::size_t scalar_size) const;
+  /// Fraction of matrix entries in the non-local parts.
+  double nonlocal_fraction() const;
+};
+
+/// Distribute `a` over `part` (all ranks) and aggregate.
+template <class T>
+PartitionStats analyze_partition(const Csr<T>& a, const RowPartition& part);
+
+/// One-line human-readable rendering.
+std::string format_stats(const PartitionStats& s);
+
+extern template PartitionStats analyze_partition(const Csr<float>&,
+                                                 const RowPartition&);
+extern template PartitionStats analyze_partition(const Csr<double>&,
+                                                 const RowPartition&);
+
+}  // namespace spmvm::dist

@@ -1,0 +1,80 @@
+#include "dist/dist_solver.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spmvm::dist {
+
+namespace {
+template <class T>
+double local_dot(std::span<const T> a, std::span<const T> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  return acc;
+}
+}  // namespace
+
+template <class T>
+DistCgResult dist_cg(msg::Comm& comm, const DistMatrix<T>& a,
+                     std::span<const T> b_local, std::span<T> x_local,
+                     double tol, int max_iterations, CommScheme scheme) {
+  const auto n = static_cast<std::size_t>(a.n_local);
+  SPMVM_REQUIRE(b_local.size() >= n && x_local.size() >= n,
+                "local blocks too small");
+  std::vector<T> r(n), p(n), ap(n);
+  std::vector<T> halo, sendbuf;
+
+  // r = b - A x0; p = r.
+  dist_spmv(comm, a, std::span<const T>(x_local.data(), n),
+            std::span<T>(ap), scheme, halo, sendbuf);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b_local[i] - ap[i];
+  p.assign(r.begin(), r.end());
+
+  const std::span<const T> b_n(b_local.data(), n);
+  const double bnorm =
+      std::sqrt(comm.allreduce_sum(local_dot<T>(b_n, b_n)));
+  const double stop = tol * (bnorm > 0.0 ? bnorm : 1.0);
+  double rr = comm.allreduce_sum(local_dot<T>(r, r));
+
+  DistCgResult result;
+  result.residual_norm = std::sqrt(rr);
+  if (result.residual_norm <= stop) {
+    result.converged = true;
+    return result;
+  }
+
+  for (int it = 0; it < max_iterations; ++it) {
+    dist_spmv(comm, a, std::span<const T>(p), std::span<T>(ap), scheme,
+              halo, sendbuf);
+    const double pap = comm.allreduce_sum(local_dot<T>(p, ap));
+    if (pap <= 0.0) break;
+    const T alpha = static_cast<T>(rr / pap);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_local[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rr_new = comm.allreduce_sum(local_dot<T>(r, r));
+    result.iterations = it + 1;
+    result.residual_norm = std::sqrt(rr_new);
+    if (result.residual_norm <= stop) {
+      result.converged = true;
+      break;
+    }
+    const T beta = static_cast<T>(rr_new / rr);
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_new;
+  }
+  return result;
+}
+
+template DistCgResult dist_cg(msg::Comm&, const DistMatrix<float>&,
+                              std::span<const float>, std::span<float>,
+                              double, int, CommScheme);
+template DistCgResult dist_cg(msg::Comm&, const DistMatrix<double>&,
+                              std::span<const double>, std::span<double>,
+                              double, int, CommScheme);
+
+}  // namespace spmvm::dist

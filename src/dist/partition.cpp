@@ -1,0 +1,69 @@
+#include "dist/partition.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spmvm::dist {
+
+RowPartition::RowPartition(std::vector<index_t> offsets)
+    : offsets_(std::move(offsets)) {
+  SPMVM_REQUIRE(offsets_.size() >= 2, "partition needs at least one part");
+  SPMVM_REQUIRE(offsets_.front() == 0, "partition must start at row 0");
+  for (std::size_t r = 1; r < offsets_.size(); ++r)
+    SPMVM_REQUIRE(offsets_[r - 1] <= offsets_[r],
+                  "partition offsets must be non-decreasing");
+}
+
+int RowPartition::owner(index_t row) const {
+  SPMVM_REQUIRE(row >= 0 && row < n_rows(), "row outside the partition");
+  const auto it =
+      std::upper_bound(offsets_.begin(), offsets_.end(), row);
+  return static_cast<int>(it - offsets_.begin()) - 1;
+}
+
+RowPartition partition_uniform(index_t n_rows, int n_parts) {
+  SPMVM_REQUIRE(n_parts >= 1, "need at least one part");
+  std::vector<index_t> offsets(static_cast<std::size_t>(n_parts) + 1, 0);
+  const index_t base = n_rows / n_parts;
+  const index_t extra = n_rows % n_parts;
+  for (int r = 0; r < n_parts; ++r)
+    offsets[static_cast<std::size_t>(r) + 1] =
+        offsets[static_cast<std::size_t>(r)] + base + (r < extra ? 1 : 0);
+  return RowPartition(std::move(offsets));
+}
+
+template <class T>
+RowPartition partition_balanced_nnz(const Csr<T>& a, int n_parts) {
+  SPMVM_REQUIRE(n_parts >= 1, "need at least one part");
+  const double target = static_cast<double>(a.nnz()) / n_parts;
+  std::vector<index_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(n_parts) + 1);
+  offsets.push_back(0);
+  index_t row = 0;
+  for (int r = 0; r < n_parts - 1; ++r) {
+    const offset_t goal = static_cast<offset_t>(target * (r + 1));
+    while (row < a.n_rows &&
+           a.row_ptr[static_cast<std::size_t>(row) + 1] < goal)
+      ++row;
+    // `row` is the first row whose cumulative nnz reaches the goal; cut
+    // before or after it, whichever lands closer to the goal.
+    index_t cut = row;
+    if (row < a.n_rows &&
+        a.row_ptr[static_cast<std::size_t>(row) + 1] - goal <
+            goal - a.row_ptr[static_cast<std::size_t>(row)])
+      cut = row + 1;
+    // Keep at least one row per remaining part when possible.
+    cut = std::min<index_t>(cut, a.n_rows - (n_parts - 1 - r));
+    cut = std::max(cut, offsets.back());
+    offsets.push_back(cut);
+    row = cut;
+  }
+  offsets.push_back(a.n_rows);
+  return RowPartition(std::move(offsets));
+}
+
+template RowPartition partition_balanced_nnz(const Csr<float>&, int);
+template RowPartition partition_balanced_nnz(const Csr<double>&, int);
+
+}  // namespace spmvm::dist

@@ -1,0 +1,47 @@
+// Row-block partitioning of a sparse matrix across ranks.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace spmvm::dist {
+
+/// Contiguous row ranges: rank r owns rows [offsets[r], offsets[r+1]).
+class RowPartition {
+ public:
+  RowPartition() = default;
+  explicit RowPartition(std::vector<index_t> offsets);
+
+  int n_parts() const { return static_cast<int>(offsets_.size()) - 1; }
+  index_t n_rows() const { return offsets_.back(); }
+  index_t begin(int part) const {
+    return offsets_[static_cast<std::size_t>(part)];
+  }
+  index_t end(int part) const {
+    return offsets_[static_cast<std::size_t>(part) + 1];
+  }
+  index_t count(int part) const { return end(part) - begin(part); }
+
+  /// Which part owns a global row/column index (binary search).
+  int owner(index_t row) const;
+
+  const std::vector<index_t>& offsets() const { return offsets_; }
+
+ private:
+  std::vector<index_t> offsets_;
+};
+
+/// Equal row counts (remainder spread over the first ranks).
+RowPartition partition_uniform(index_t n_rows, int n_parts);
+
+/// Contiguous blocks balanced by non-zero count — the sensible choice for
+/// matrices with varying row lengths.
+template <class T>
+RowPartition partition_balanced_nnz(const Csr<T>& a, int n_parts);
+
+extern template RowPartition partition_balanced_nnz(const Csr<float>&, int);
+extern template RowPartition partition_balanced_nnz(const Csr<double>&, int);
+
+}  // namespace spmvm::dist

@@ -1,0 +1,63 @@
+// Distributed spMVM with the paper's three communication schemes
+// (Sec. III-A), running functionally on the in-process message runtime:
+//
+//   vector mode    — halo exchange completes before a single full spMVM
+//                    (no overlap; vector-computer programming style),
+//   naive overlap  — nonblocking MPI posted around the *local* spMVM, the
+//                    non-local part applied after waitall,
+//   task mode      — a dedicated communication thread per rank runs the
+//                    gather/exchange while the compute thread does the
+//                    local spMVM (Fig. 4).
+//
+// All three produce bit-identical results; the differences are purely in
+// when communication may overlap computation (timed by cluster_model).
+#pragma once
+
+#include <span>
+
+#include "dist/dist_matrix.hpp"
+#include "msg/runtime.hpp"
+
+namespace spmvm::dist {
+
+enum class CommScheme { vector_mode, naive_overlap, task_mode };
+
+const char* to_string(CommScheme scheme);
+
+/// Verify at runtime, by message exchange, that the locally computed send
+/// lists match what each peer expects (the pattern handshake a real MPI
+/// code performs at setup). Throws on mismatch.
+template <class T>
+void handshake_pattern(msg::Comm& comm, const DistMatrix<T>& d);
+
+/// One distributed spMVM: y_local = A · x (x given as the owned block).
+/// `halo` and `sendbuf` are scratch buffers reused across iterations
+/// (resized on demand).
+template <class T>
+void dist_spmv(msg::Comm& comm, const DistMatrix<T>& d,
+               std::span<const T> x_local, std::span<T> y_local,
+               CommScheme scheme, std::vector<T>& halo,
+               std::vector<T>& sendbuf);
+
+/// Convenience wrapper: run `iterations` products y = A·x with x <- y/|y|
+/// normalization between iterations (a power-iteration-like workload),
+/// return the final local block. Used by integration tests.
+template <class T>
+std::vector<T> run_power_iterations(msg::Comm& comm, const DistMatrix<T>& d,
+                                    std::span<const T> x0_local,
+                                    int iterations, CommScheme scheme);
+
+#define SPMVM_EXTERN_MODES(T)                                              \
+  extern template void handshake_pattern(msg::Comm&, const DistMatrix<T>&); \
+  extern template void dist_spmv(msg::Comm&, const DistMatrix<T>&,          \
+                                 std::span<const T>, std::span<T>,          \
+                                 CommScheme, std::vector<T>&,               \
+                                 std::vector<T>&);                          \
+  extern template std::vector<T> run_power_iterations(                      \
+      msg::Comm&, const DistMatrix<T>&, std::span<const T>, int, CommScheme)
+
+SPMVM_EXTERN_MODES(float);
+SPMVM_EXTERN_MODES(double);
+#undef SPMVM_EXTERN_MODES
+
+}  // namespace spmvm::dist

@@ -1,0 +1,70 @@
+#include "dist/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spmvm::dist {
+
+void Timeline::add(std::string actor, std::string label, double t0,
+                   double t1) {
+  SPMVM_REQUIRE(t1 >= t0 && t0 >= 0.0, "event interval must be ordered");
+  events_.push_back({std::move(actor), std::move(label), t0, t1});
+}
+
+double Timeline::duration() const {
+  double end = 0.0;
+  for (const auto& e : events_) end = std::max(end, e.t1);
+  return end;
+}
+
+std::string Timeline::render(int width) const {
+  SPMVM_REQUIRE(width >= 16, "timeline width too small");
+  const double total = duration();
+  std::ostringstream os;
+  if (total <= 0.0) {
+    os << "(empty timeline)\n";
+    return os.str();
+  }
+
+  std::vector<std::string> actors;
+  for (const auto& e : events_)
+    if (std::find(actors.begin(), actors.end(), e.actor) == actors.end())
+      actors.push_back(e.actor);
+
+  std::size_t label_w = 0;
+  for (const auto& a : actors) label_w = std::max(label_w, a.size());
+
+  for (const auto& actor : actors) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const auto& e : events_) {
+      if (e.actor != actor) continue;
+      auto c0 = static_cast<int>(e.t0 / total * (width - 1));
+      auto c1 = static_cast<int>(e.t1 / total * (width - 1));
+      c1 = std::max(c1, c0);
+      row[static_cast<std::size_t>(c0)] = '[';
+      row[static_cast<std::size_t>(c1)] = ']';
+      // Fill with the first letters of the label.
+      for (int c = c0 + 1; c < c1; ++c) {
+        const std::size_t li = static_cast<std::size_t>(c - c0 - 1);
+        row[static_cast<std::size_t>(c)] =
+            li < e.label.size() ? e.label[li] : '-';
+      }
+    }
+    os << actor << std::string(label_w - actor.size(), ' ') << " |" << row
+       << "|\n";
+  }
+  char end_label[32];
+  std::snprintf(end_label, sizeof(end_label), "%.1f us", total * 1e6);
+  os << std::string(label_w, ' ') << " 0"
+     << std::string(static_cast<std::size_t>(
+                        std::max(1, width - 1 -
+                                        static_cast<int>(std::string(end_label).size()))),
+                    ' ')
+     << end_label << "\n";
+  return os.str();
+}
+
+}  // namespace spmvm::dist

@@ -1,0 +1,34 @@
+// Event timeline for one spMVM iteration (Fig. 4 of the paper): which
+// actor (host thread 0 / host thread 1 / the GPU) does what, when.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spmvm::dist {
+
+struct TimelineEvent {
+  std::string actor;  // "thread 0", "thread 1", "GPGPU"
+  std::string label;  // "MPI_Irecv", "local gather", ...
+  double t0 = 0.0;    // seconds from iteration start
+  double t1 = 0.0;
+};
+
+class Timeline {
+ public:
+  void add(std::string actor, std::string label, double t0, double t1);
+
+  const std::vector<TimelineEvent>& events() const { return events_; }
+
+  /// Total span of all recorded events.
+  double duration() const;
+
+  /// Render as rows of labeled intervals over a scaled time axis, one row
+  /// per actor, in first-appearance order (ASCII Fig. 4).
+  std::string render(int width = 72) const;
+
+ private:
+  std::vector<TimelineEvent> events_;
+};
+
+}  // namespace spmvm::dist

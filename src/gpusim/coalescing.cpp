@@ -1,0 +1,61 @@
+#include "gpusim/coalescing.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spmvm::gpusim {
+
+std::uint64_t coalesced_bytes(std::uint64_t span_elems,
+                              std::uint64_t elem_bytes,
+                              std::uint64_t line_bytes) {
+  if (span_elems == 0) return 0;
+  const std::uint64_t bytes = span_elems * elem_bytes;
+  const std::uint64_t lines = (bytes + line_bytes - 1) / line_bytes;
+  return lines * line_bytes;
+}
+
+std::uint64_t sectored_bytes(std::span<const int> lanes,
+                             std::uint64_t elem_bytes,
+                             std::uint64_t sector_bytes) {
+  // Lane indices arrive in ascending order from the kernel drivers, so
+  // the touched sectors are ascending too: count each once.
+  std::uint64_t sectors = 0;
+  bool have_last = false;
+  std::uint64_t last = 0;
+  for (const int lane : lanes) {
+    const std::uint64_t byte0 = static_cast<std::uint64_t>(lane) * elem_bytes;
+    const std::uint64_t s0 = byte0 / sector_bytes;
+    const std::uint64_t s1 = (byte0 + elem_bytes - 1) / sector_bytes;
+    for (std::uint64_t s = s0; s <= s1; ++s) {
+      if (!have_last || s != last) {
+        ++sectors;
+        last = s;
+        have_last = true;
+      }
+    }
+  }
+  return sectors * sector_bytes;
+}
+
+std::size_t gather_lines(std::span<const std::uint64_t> element_addrs,
+                         std::uint64_t line_bytes,
+                         std::span<std::uint64_t> lines_out) {
+  SPMVM_REQUIRE(lines_out.size() >= element_addrs.size(),
+                "scratch span too small");
+  std::size_t n = 0;
+  for (const std::uint64_t addr : element_addrs) {
+    const std::uint64_t line = addr / line_bytes;
+    bool seen = false;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (lines_out[k] == line) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) lines_out[n++] = line;
+  }
+  return n;
+}
+
+}  // namespace spmvm::gpusim

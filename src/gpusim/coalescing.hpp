@@ -1,0 +1,38 @@
+// Memory-coalescing arithmetic: how many full-width transactions a warp's
+// loads generate (Sec. I-B: "it is essential that consecutive threads in
+// a warp access consecutive memory locations").
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace spmvm::gpusim {
+
+/// Bytes moved for a coalesced load of `span_elems` consecutive elements
+/// of `elem_bytes` each, rounded up to whole transactions of
+/// `line_bytes`. `span_elems` is the distance from the first to the last
+/// *active* lane plus one: inactive lanes inside the span still burn
+/// transaction bytes because the segments are fetched whole.
+std::uint64_t coalesced_bytes(std::uint64_t span_elems,
+                              std::uint64_t elem_bytes,
+                              std::uint64_t line_bytes);
+
+/// Bytes moved for a coalesced load where only some lanes of the warp are
+/// active: the memory system fetches 32-byte *sectors*, so masked lanes
+/// inside the span cost nothing unless they share a sector with an active
+/// lane. `lanes` holds the active lane indices (0-based within the warp);
+/// each lane touches elem_bytes at offset lane*elem_bytes.
+std::uint64_t sectored_bytes(std::span<const int> lanes,
+                             std::uint64_t elem_bytes,
+                             std::uint64_t sector_bytes = 32);
+
+/// Number of distinct cache lines touched by a warp's gather at the given
+/// element addresses (sorted or not). Writes the distinct line indices
+/// into `lines_out` (caller-provided scratch, cleared first) and returns
+/// the count. This is the warp-level dedup the hardware performs before
+/// the requests reach the L2.
+std::size_t gather_lines(std::span<const std::uint64_t> element_addrs,
+                         std::uint64_t line_bytes,
+                         std::span<std::uint64_t> lines_out);
+
+}  // namespace spmvm::gpusim

@@ -1,0 +1,42 @@
+#include "gpusim/cpu_node.hpp"
+
+#include "gpusim/l2_cache.hpp"
+
+namespace spmvm::gpusim {
+
+template <class T>
+CpuKernelResult simulate_csr(const CpuNodeSpec& node, const Csr<T>& m) {
+  CpuKernelResult r;
+  const std::uint64_t nnz = static_cast<std::uint64_t>(m.nnz());
+  if (nnz == 0) return r;
+
+  // Measure the RHS re-load factor with the node's last-level cache.
+  L2Cache cache(node.cache_bytes, node.cache_line_bytes, node.cache_ways);
+  std::uint64_t rhs_dram = 0;
+  for (offset_t k = 0; k < m.nnz(); ++k) {
+    const auto addr =
+        static_cast<std::uint64_t>(m.col_idx[static_cast<std::size_t>(k)]) *
+        sizeof(T);
+    if (!cache.access(addr))
+      rhs_dram += static_cast<std::uint64_t>(node.cache_line_bytes);
+  }
+  r.alpha = static_cast<double>(rhs_dram) /
+            static_cast<double>(nnz * sizeof(T));
+
+  const double nnzr = m.avg_row_len();
+  const double per_nnz = static_cast<double>(sizeof(T)) + 4.0 +
+                         r.alpha * static_cast<double>(sizeof(T));
+  const double per_row =
+      nnzr > 0.0 ? (8.0 + 2.0 * static_cast<double>(sizeof(T))) / nnzr : 0.0;
+  r.code_balance = (per_nnz + per_row) / 2.0;  // bytes per flop
+
+  const double bytes = r.code_balance * 2.0 * static_cast<double>(nnz);
+  r.seconds = bytes / (node.bw_gbs * 1e9);
+  r.gflops = 2.0 * static_cast<double>(nnz) / r.seconds / 1e9;
+  return r;
+}
+
+template CpuKernelResult simulate_csr(const CpuNodeSpec&, const Csr<float>&);
+template CpuKernelResult simulate_csr(const CpuNodeSpec&, const Csr<double>&);
+
+}  // namespace spmvm::gpusim

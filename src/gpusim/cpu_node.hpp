@@ -1,0 +1,32 @@
+// CPU reference-node model for the CRS baseline (Table I, last row).
+//
+// Same formalism as the GPU side: the CRS kernel is bandwidth-bound on a
+// multicore node; its code balance follows ref. [4], with the RHS
+// re-load factor α measured by running the real access stream through a
+// last-level-cache model.
+#pragma once
+
+#include "gpusim/device_spec.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvm::gpusim {
+
+struct CpuKernelResult {
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double code_balance = 0.0;  // bytes per flop
+  double alpha = 0.0;         // measured RHS re-load factor
+};
+
+/// Simulate the CRS spMVM kernel on a CPU node. Traffic per non-zero:
+/// val (scalar) + col_idx (4 B) + α·scalar for the RHS; per row: the
+/// row pointer (8 B) and the LHS store with write-allocate (2·scalar).
+template <class T>
+CpuKernelResult simulate_csr(const CpuNodeSpec& node, const Csr<T>& m);
+
+extern template CpuKernelResult simulate_csr(const CpuNodeSpec&,
+                                             const Csr<float>&);
+extern template CpuKernelResult simulate_csr(const CpuNodeSpec&,
+                                             const Csr<double>&);
+
+}  // namespace spmvm::gpusim

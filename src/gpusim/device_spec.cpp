@@ -1,0 +1,50 @@
+#include "gpusim/device_spec.hpp"
+
+namespace spmvm::gpusim {
+
+double DeviceSpec::bandwidth_bytes(bool ecc) const {
+  return (ecc && has_ecc ? bw_gbs_ecc_on : bw_gbs_ecc_off) * 1e9;
+}
+
+double DeviceSpec::peak_flops(Precision p) const {
+  // One SP multiply plus one add per ALU per cycle -> 2 flops/ALU/cycle.
+  const double sp =
+      2.0 * num_mps * alus_per_mp * clock_ghz * 1e9;
+  return p == Precision::sp ? sp : sp / 2.0;
+}
+
+DeviceSpec DeviceSpec::tesla_c2070() {
+  DeviceSpec d;
+  d.name = "Tesla C2070";
+  d.dram_bytes = std::size_t{6} * 1024 * 1024 * 1024;
+  return d;
+}
+
+DeviceSpec DeviceSpec::tesla_c2050() {
+  DeviceSpec d = tesla_c2070();
+  d.name = "Tesla C2050";
+  d.dram_bytes = std::size_t{3} * 1024 * 1024 * 1024;
+  return d;
+}
+
+DeviceSpec DeviceSpec::tesla_c1060() {
+  DeviceSpec d;
+  d.name = "Tesla C1060";
+  d.num_mps = 30;
+  d.alus_per_mp = 8;
+  d.warp_size = 32;
+  d.clock_ghz = 1.296;
+  d.bw_gbs_ecc_off = 78.0;
+  d.bw_gbs_ecc_on = 78.0;
+  d.has_ecc = false;
+  d.l2_bytes = 0;  // no L2 on GT200
+  d.dram_bytes = std::size_t{4} * 1024 * 1024 * 1024;
+  d.pcie_gbs = 5.0;
+  // GT200 issues one instruction per 4 cycles over 8 ALUs; the per-step
+  // cost in MP cycles is correspondingly higher.
+  d.cycles_per_step_sp = 160.0;
+  d.cycles_per_step_dp = 200.0;
+  return d;
+}
+
+}  // namespace spmvm::gpusim

@@ -1,0 +1,87 @@
+// GPGPU device descriptions (Sec. I-B of the paper).
+//
+// The simulator is parameterized by a DeviceSpec carrying the published
+// architectural constants of the paper's testbed: the Fermi-class Tesla
+// C2070/C2050 (GF100: 14 MPs x 32 ALUs, 768 kB L2, ~91 GB/s sustained
+// with ECC / ~120 GB/s without) and the pre-Fermi Tesla C1060 (no L2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace spmvm::gpusim {
+
+enum class Precision { sp, dp };
+
+inline std::size_t scalar_bytes(Precision p) {
+  return p == Precision::sp ? 4 : 8;
+}
+
+struct DeviceSpec {
+  std::string name;
+
+  // Compute resources.
+  int num_mps = 14;        // streaming multiprocessors
+  int alus_per_mp = 32;    // in-order ALUs per MP
+  int warp_size = 32;      // SIMD width (threads per warp)
+  double clock_ghz = 1.15; // ALU clock
+
+  // Issue cost of one inner spMVM iteration of one warp, in MP cycles
+  // (address arithmetic + two matrix loads + gather + FMA + loop code).
+  // Calibrated so the simulator's SP/DP crossover between issue-bound and
+  // bandwidth-bound kernels matches Table I; see DESIGN.md.
+  double cycles_per_step_sp = 40.0;
+  double cycles_per_step_dp = 48.0;
+
+  // Sustained device-memory bandwidth (streaming benchmarks, ref. [5]).
+  double bw_gbs_ecc_off = 120.0;
+  double bw_gbs_ecc_on = 91.0;
+  bool has_ecc = true;  // C1060 cannot enable ECC
+
+  // L2 cache (0 bytes = no L2, as on the C1060).
+  std::size_t l2_bytes = 768 * 1024;
+  int l2_line_bytes = 128;
+  int l2_ways = 16;
+
+  // Device memory capacity.
+  std::size_t dram_bytes = 0;
+
+  // Host link (PCIe 2.0 x16 sustained) and kernel-launch overhead.
+  double pcie_gbs = 6.0;
+  double pcie_latency_s = 10e-6;
+  double kernel_launch_s = 5e-6;
+
+  // Warps needed in flight to reach the memory-latency/bandwidth plateau;
+  // effective bandwidth scales as w / (w + half_saturation_warps).
+  double half_saturation_warps = 64.0;
+
+  /// Sustained bandwidth in bytes/second for the given ECC setting.
+  double bandwidth_bytes(bool ecc) const;
+
+  /// Peak arithmetic throughput in flops/second (paper: 896 flops/cycle
+  /// SP on the full GF100 chip, half that in DP).
+  double peak_flops(Precision p) const;
+
+  /// Tesla C2070: 6 GB Fermi card used for Table I.
+  static DeviceSpec tesla_c2070();
+  /// Tesla C2050: 3 GB Fermi card of the NERSC Dirac nodes (Fig. 5).
+  static DeviceSpec tesla_c2050();
+  /// Tesla C1060: previous generation, no L2, no ECC option.
+  static DeviceSpec tesla_c1060();
+};
+
+/// CPU reference node for Table I's last row: dual-socket six-core
+/// Westmere EP running the CRS kernel.
+struct CpuNodeSpec {
+  std::string name = "Westmere EP (2x6 cores)";
+  int cores = 12;
+  double clock_ghz = 2.66;
+  double bw_gbs = 40.0;              // sustained node memory bandwidth
+  std::size_t cache_bytes = 24 * 1024 * 1024;  // aggregate last-level
+  int cache_line_bytes = 64;
+  int cache_ways = 16;
+
+  static CpuNodeSpec westmere_ep() { return {}; }
+};
+
+}  // namespace spmvm::gpusim

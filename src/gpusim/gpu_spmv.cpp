@@ -1,0 +1,101 @@
+#include "gpusim/gpu_spmv.hpp"
+
+#include "core/footprint.hpp"
+#include "util/error.hpp"
+
+namespace spmvm::gpusim {
+
+const char* to_string(FormatKind kind) {
+  switch (kind) {
+    case FormatKind::ellpack:
+      return "ELLPACK";
+    case FormatKind::ellpack_r:
+      return "ELLPACK-R";
+    case FormatKind::pjds:
+      return "pJDS";
+    case FormatKind::sliced_ell:
+      return "sliced-ELL";
+    case FormatKind::csr_scalar:
+      return "CSR-scalar";
+    case FormatKind::csr_vector:
+      return "CSR-vector";
+  }
+  return "?";
+}
+
+namespace {
+template <class T>
+Pjds<T> build_pjds(const Csr<T>& a, index_t chunk) {
+  PjdsOptions opt;
+  opt.block_rows = chunk;
+  // The paper's kernel benchmark (Listing 2) permutes rows only: the RHS
+  // stays in the original basis and col_idx[] keeps original column
+  // numbers. Solvers that want to stay permuted use PermuteColumns::yes
+  // explicitly (see solver/).
+  opt.permute_columns = PermuteColumns::no;
+  return Pjds<T>::from_csr(a, opt);
+}
+}  // namespace
+
+template <class T>
+KernelResult simulate_format(const DeviceSpec& dev, const Csr<T>& a,
+                             FormatKind kind, const SimOptions& opt,
+                             index_t chunk) {
+  switch (kind) {
+    case FormatKind::ellpack:
+      return simulate(dev, Ellpack<T>::from_csr(a, chunk),
+                      EllpackKernel::plain, opt);
+    case FormatKind::ellpack_r:
+      return simulate(dev, Ellpack<T>::from_csr(a, chunk), EllpackKernel::r,
+                      opt);
+    case FormatKind::pjds:
+      return simulate(dev, build_pjds(a, chunk), opt);
+    case FormatKind::sliced_ell:
+      return simulate(dev, SlicedEll<T>::from_csr(a, chunk), opt);
+    case FormatKind::csr_scalar:
+      return simulate_csr_scalar(dev, a, opt);
+    case FormatKind::csr_vector:
+      return simulate_csr_vector(dev, a, opt);
+  }
+  SPMVM_REQUIRE(false, "unhandled format kind");
+  return {};
+}
+
+template <class T>
+std::size_t device_bytes(const Csr<T>& a, FormatKind kind, index_t chunk) {
+  const std::size_t vectors =
+      (static_cast<std::size_t>(a.n_rows) + static_cast<std::size_t>(a.n_cols)) *
+      sizeof(T);
+  switch (kind) {
+    case FormatKind::ellpack:
+      return footprint(Ellpack<T>::from_csr(a, chunk), false).total_bytes(
+                 sizeof(T)) +
+             vectors;
+    case FormatKind::ellpack_r:
+      return footprint(Ellpack<T>::from_csr(a, chunk), true).total_bytes(
+                 sizeof(T)) +
+             vectors;
+    case FormatKind::pjds:
+      return footprint(build_pjds(a, chunk)).total_bytes(sizeof(T)) + vectors;
+    case FormatKind::sliced_ell:
+      return footprint(SlicedEll<T>::from_csr(a, chunk)).total_bytes(
+                 sizeof(T)) +
+             vectors;
+    case FormatKind::csr_scalar:
+    case FormatKind::csr_vector:
+      return footprint(a).total_bytes(sizeof(T)) + vectors;
+  }
+  SPMVM_REQUIRE(false, "unhandled format kind");
+  return 0;
+}
+
+#define SPMVM_INSTANTIATE_GPU_SPMV(T)                                     \
+  template KernelResult simulate_format(const DeviceSpec&, const Csr<T>&, \
+                                        FormatKind, const SimOptions&,    \
+                                        index_t);                         \
+  template std::size_t device_bytes(const Csr<T>&, FormatKind, index_t)
+
+SPMVM_INSTANTIATE_GPU_SPMV(float);
+SPMVM_INSTANTIATE_GPU_SPMV(double);
+
+}  // namespace spmvm::gpusim

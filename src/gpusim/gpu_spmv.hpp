@@ -1,0 +1,44 @@
+// High-level driver: build a storage format from CSR and simulate its
+// spMVM kernel in one call — the loop body of every Table I-style bench.
+#pragma once
+
+#include <string>
+
+#include "gpusim/kernel_sim.hpp"
+#include "gpusim/pcie.hpp"
+
+namespace spmvm::gpusim {
+
+enum class FormatKind { ellpack, ellpack_r, pjds, sliced_ell, csr_scalar, csr_vector };
+
+const char* to_string(FormatKind kind);
+
+/// Build `kind` from `a` (row chunk / block size / slice height = `chunk`)
+/// and simulate one spMVM on `dev`. pJDS is built with the paper's
+/// benchmark setup (Listing 2): rows permuted, RHS vector and column
+/// indices in the original basis — the inter-row RHS-locality loss the
+/// paper discusses still shows because formerly-adjacent rows land in
+/// different warps after the sort.
+template <class T>
+KernelResult simulate_format(const DeviceSpec& dev, const Csr<T>& a,
+                             FormatKind kind, const SimOptions& opt = {},
+                             index_t chunk = 32);
+
+/// Device memory needed to hold `kind` for matrix `a` plus the RHS and
+/// LHS vectors — decides whether a matrix fits a card at all (the paper:
+/// DLR2 in DP fits a 3 GB C2050 only as pJDS).
+template <class T>
+std::size_t device_bytes(const Csr<T>& a, FormatKind kind, index_t chunk = 32);
+
+#define SPMVM_EXTERN_GPU_SPMV(T)                                         \
+  extern template KernelResult simulate_format(                          \
+      const DeviceSpec&, const Csr<T>&, FormatKind, const SimOptions&,   \
+      index_t);                                                          \
+  extern template std::size_t device_bytes(const Csr<T>&, FormatKind,    \
+                                           index_t)
+
+SPMVM_EXTERN_GPU_SPMV(float);
+SPMVM_EXTERN_GPU_SPMV(double);
+#undef SPMVM_EXTERN_GPU_SPMV
+
+}  // namespace spmvm::gpusim

@@ -1,0 +1,68 @@
+#include "gpusim/l2_cache.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spmvm::gpusim {
+
+L2Cache::L2Cache(std::size_t capacity_bytes, int line_bytes, int ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  SPMVM_REQUIRE(line_bytes >= 1, "line size must be >= 1");
+  SPMVM_REQUIRE(ways >= 1, "associativity must be >= 1");
+  const std::size_t lines = capacity_bytes / static_cast<std::size_t>(line_bytes);
+  n_sets_ = lines / static_cast<std::size_t>(ways);
+  if (capacity_bytes > 0)
+    SPMVM_REQUIRE(n_sets_ >= 1, "cache too small for its associativity");
+  tags_.assign(n_sets_ * static_cast<std::size_t>(ways_), -1);
+  lru_.assign(tags_.size(), 0);
+}
+
+bool L2Cache::access(std::uint64_t addr) {
+  return access_line(addr / static_cast<std::uint64_t>(line_bytes_));
+}
+
+bool L2Cache::access_line(std::uint64_t line) {
+  if (n_sets_ == 0) {  // cache disabled
+    ++misses_;
+    return false;
+  }
+  const std::size_t set = static_cast<std::size_t>(line % n_sets_);
+  const auto tag = static_cast<std::int64_t>(line);
+  const std::size_t base = set * static_cast<std::size_t>(ways_);
+  ++stamp_;
+  std::size_t victim = base;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (std::size_t w = base; w < base + static_cast<std::size_t>(ways_); ++w) {
+    if (tags_[w] == tag) {
+      lru_[w] = stamp_;
+      ++hits_;
+      return true;
+    }
+    if (tags_[w] == -1) {  // prefer an empty way
+      victim = w;
+      oldest = 0;
+    } else if (lru_[w] < oldest) {
+      victim = w;
+      oldest = lru_[w];
+    }
+  }
+  tags_[victim] = tag;
+  lru_[victim] = stamp_;
+  ++misses_;
+  return false;
+}
+
+void L2Cache::reset() {
+  std::fill(tags_.begin(), tags_.end(), -1);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  stamp_ = hits_ = misses_ = 0;
+}
+
+double L2Cache::hit_rate() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+}  // namespace spmvm::gpusim

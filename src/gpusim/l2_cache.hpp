@@ -1,0 +1,46 @@
+// Set-associative LRU cache simulator.
+//
+// Models the Fermi L2 for the RHS-vector gather: the paper's α parameter
+// (Eq. 1) — how often an RHS element must be re-fetched from device
+// memory — is *measured* by running the kernel's real access stream
+// through this cache instead of being assumed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spmvm::gpusim {
+
+class L2Cache {
+ public:
+  /// capacity_bytes == 0 disables the cache (every access misses), which
+  /// models the C1060 generation.
+  L2Cache(std::size_t capacity_bytes, int line_bytes, int ways);
+
+  /// Probe one byte address; returns true on hit. Misses fill the line
+  /// (LRU replacement within the set).
+  bool access(std::uint64_t addr);
+
+  /// Probe a whole line given its line index (addr / line_bytes).
+  bool access_line(std::uint64_t line);
+
+  void reset();
+
+  int line_bytes() const { return line_bytes_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double hit_rate() const;
+
+ private:
+  int line_bytes_;
+  int ways_;
+  std::size_t n_sets_;
+  // tags_[set * ways + way]; lru_[same] = last-use stamp; tag -1 = empty.
+  std::vector<std::int64_t> tags_;
+  std::vector<std::uint64_t> lru_;
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace spmvm::gpusim

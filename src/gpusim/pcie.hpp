@@ -1,0 +1,34 @@
+// PCIe transfer model (Sec. II-B, Eq. 2): the RHS vector must be uploaded
+// and the LHS result downloaded around each spMVM, at the host-link
+// bandwidth B_PCI — the overhead that disqualifies low-N_nzr matrices
+// from GPGPU acceleration.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_sim.hpp"
+#include "util/types.hpp"
+
+namespace spmvm::gpusim {
+
+/// Wall-clock seconds to move `bytes` across the host link (latency +
+/// bandwidth term).
+double pcie_seconds(const DeviceSpec& dev, std::uint64_t bytes);
+
+/// Kernel + host-transfer timing for one spMVM (Eq. 2: T_MVM and T_PCI).
+struct SpmvTimings {
+  double kernel_seconds = 0.0;
+  double pcie_seconds = 0.0;
+  double total_seconds = 0.0;
+  double gflops_kernel = 0.0;  // excluding transfers (Table I convention)
+  double gflops_total = 0.0;   // including transfers (Sec. III numbers)
+};
+
+/// Combine a simulated kernel with the RHS-upload (n_cols elements) and
+/// LHS-download (n_rows elements) transfers.
+SpmvTimings with_pcie_transfers(const DeviceSpec& dev, const KernelResult& k,
+                                index_t n_rows, index_t n_cols,
+                                std::size_t scalar_size);
+
+}  // namespace spmvm::gpusim

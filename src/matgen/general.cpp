@@ -1,0 +1,155 @@
+// General-purpose generators: stencils, banded, random and power-law
+// matrices used by tests, examples and ablation benchmarks.
+#include <algorithm>
+#include <vector>
+
+#include "matgen/generators.hpp"
+#include "util/error.hpp"
+
+namespace spmvm {
+
+template <class T>
+Csr<T> make_poisson2d(index_t nx, index_t ny) {
+  SPMVM_REQUIRE(nx >= 1 && ny >= 1, "grid dimensions must be >= 1");
+  const index_t n = nx * ny;
+  Coo<T> coo(n, n);
+  coo.reserve(static_cast<offset_t>(n) * 5);
+  for (index_t y = 0; y < ny; ++y)
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = y * nx + x;
+      coo.add(i, i, static_cast<T>(4.0));
+      if (x > 0) coo.add(i, i - 1, static_cast<T>(-1.0));
+      if (x + 1 < nx) coo.add(i, i + 1, static_cast<T>(-1.0));
+      if (y > 0) coo.add(i, i - nx, static_cast<T>(-1.0));
+      if (y + 1 < ny) coo.add(i, i + nx, static_cast<T>(-1.0));
+    }
+  return Csr<T>::from_coo(std::move(coo));
+}
+
+template <class T>
+Csr<T> make_poisson3d(index_t nx, index_t ny, index_t nz) {
+  SPMVM_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1,
+                "grid dimensions must be >= 1");
+  const index_t n = nx * ny * nz;
+  Coo<T> coo(n, n);
+  coo.reserve(static_cast<offset_t>(n) * 7);
+  for (index_t z = 0; z < nz; ++z)
+    for (index_t y = 0; y < ny; ++y)
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t i = (z * ny + y) * nx + x;
+        coo.add(i, i, static_cast<T>(6.0));
+        if (x > 0) coo.add(i, i - 1, static_cast<T>(-1.0));
+        if (x + 1 < nx) coo.add(i, i + 1, static_cast<T>(-1.0));
+        if (y > 0) coo.add(i, i - nx, static_cast<T>(-1.0));
+        if (y + 1 < ny) coo.add(i, i + nx, static_cast<T>(-1.0));
+        if (z > 0) coo.add(i, i - nx * ny, static_cast<T>(-1.0));
+        if (z + 1 < nz) coo.add(i, i + nx * ny, static_cast<T>(-1.0));
+      }
+  return Csr<T>::from_coo(std::move(coo));
+}
+
+template <class T>
+Csr<T> make_banded(index_t n, index_t band) {
+  SPMVM_REQUIRE(n >= 1 && band >= 0, "invalid banded-matrix parameters");
+  Coo<T> coo(n, n);
+  // Off-diagonal values depend symmetrically on the unordered index pair,
+  // and the diagonal dominates the band: the matrix is SPD, so it can
+  // drive the CG/Lanczos solvers directly.
+  const auto pair_value = [](index_t a, index_t b) {
+    Rng rng((static_cast<std::uint64_t>(std::min(a, b)) << 32) ^
+            static_cast<std::uint64_t>(std::max(a, b)) ^ 0xBA4Dull);
+    return rng.uniform(-1.0, 1.0);
+  };
+  for (index_t i = 0; i < n; ++i) {
+    const index_t lo = std::max<index_t>(0, i - band);
+    const index_t hi = std::min<index_t>(n - 1, i + band);
+    for (index_t c = lo; c <= hi; ++c)
+      coo.add(i, c,
+              c == i ? static_cast<T>(2.0 * band + 1.0)
+                     : static_cast<T>(pair_value(i, c)));
+  }
+  return Csr<T>::from_coo(std::move(coo));
+}
+
+template <class T>
+Csr<T> make_random_uniform(index_t n, index_t nnzr, std::uint64_t seed,
+                           bool diagonal) {
+  SPMVM_REQUIRE(n >= 1 && nnzr >= 0 && nnzr <= n,
+                "invalid random-matrix parameters");
+  Rng rng(seed);
+  Coo<T> coo(n, n);
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  std::vector<index_t> cols;
+  for (index_t i = 0; i < n; ++i) {
+    cols.clear();
+    if (diagonal && nnzr > 0) {
+      cols.push_back(i);
+      used[static_cast<std::size_t>(i)] = true;
+    }
+    while (static_cast<index_t>(cols.size()) < nnzr) {
+      const auto c =
+          static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+      if (!used[static_cast<std::size_t>(c)]) {
+        used[static_cast<std::size_t>(c)] = true;
+        cols.push_back(c);
+      }
+    }
+    std::sort(cols.begin(), cols.end());
+    for (index_t c : cols) {
+      used[static_cast<std::size_t>(c)] = false;
+      coo.add(i, c,
+              c == i ? static_cast<T>(nnzr + 1)
+                     : static_cast<T>(rng.uniform(-1.0, 1.0)));
+    }
+  }
+  return Csr<T>::from_coo(std::move(coo));
+}
+
+template <class T>
+Csr<T> make_powerlaw(index_t n, double mean_len, index_t max_len,
+                     std::uint64_t seed) {
+  SPMVM_REQUIRE(n >= 1 && mean_len >= 1.0 && max_len >= 1,
+                "invalid power-law parameters");
+  Rng rng(seed);
+  Coo<T> coo(n, n);
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  std::vector<index_t> cols;
+  for (index_t i = 0; i < n; ++i) {
+    auto len = static_cast<index_t>(
+        std::min<std::uint64_t>(1 + rng.exponential_int(mean_len - 1.0),
+                                static_cast<std::uint64_t>(max_len)));
+    len = std::min(len, n);
+    cols.clear();
+    cols.push_back(i);
+    used[static_cast<std::size_t>(i)] = true;
+    while (static_cast<index_t>(cols.size()) < len) {
+      const auto c =
+          static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+      if (!used[static_cast<std::size_t>(c)]) {
+        used[static_cast<std::size_t>(c)] = true;
+        cols.push_back(c);
+      }
+    }
+    std::sort(cols.begin(), cols.end());
+    for (index_t c : cols) {
+      used[static_cast<std::size_t>(c)] = false;
+      coo.add(i, c,
+              c == i ? static_cast<T>(2.0)
+                     : static_cast<T>(rng.uniform(-1.0, 1.0)));
+    }
+  }
+  return Csr<T>::from_coo(std::move(coo));
+}
+
+#define SPMVM_INSTANTIATE_GENERAL_GEN(T)                                \
+  template Csr<T> make_poisson2d(index_t, index_t);                     \
+  template Csr<T> make_poisson3d(index_t, index_t, index_t);            \
+  template Csr<T> make_banded(index_t, index_t);                        \
+  template Csr<T> make_random_uniform(index_t, index_t, std::uint64_t,  \
+                                      bool);                            \
+  template Csr<T> make_powerlaw(index_t, double, index_t, std::uint64_t)
+
+SPMVM_INSTANTIATE_GENERAL_GEN(float);
+SPMVM_INSTANTIATE_GENERAL_GEN(double);
+
+}  // namespace spmvm

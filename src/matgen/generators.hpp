@@ -1,0 +1,98 @@
+// Synthetic matrix generators.
+//
+// The paper's test matrices (Sec. I-C) are proprietary; these generators
+// reproduce each matrix's published fingerprint — dimension, average
+// non-zeros per row (N_nzr), row-length distribution shape (Fig. 3) and
+// characteristic structure — at a configurable scale. Everything the
+// paper measures (data reduction, kernel balance, cache reuse, halo
+// volume) depends only on these properties, so the stand-ins preserve
+// the experiments' behaviour (see DESIGN.md §2).
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+
+namespace spmvm {
+
+/// Common generator knobs. `scale` divides the paper's matrix dimension
+/// (scale = 1 reproduces the full-size matrix; the default fits a laptop).
+struct GenConfig {
+  double scale = 64.0;
+  std::uint64_t seed = 0x5EED;
+};
+
+/// HMEp — Holstein-Hubbard model (quantum physics). Paper: N = 6,201,600,
+/// N_nzr ≈ 15, contiguous off-diagonals of length 15,000.
+/// Structure: local electron hopping (±1, ±2) plus phonon couplings on
+/// far off-diagonals at multiples of the phonon stride.
+template <class T>
+Csr<T> make_hmep(const GenConfig& cfg = {});
+
+/// sAMG — adaptive multigrid for a Poisson problem on a car geometry.
+/// Paper: N = 3,405,035, N_nzr ≈ 7, widest row > 4x the shortest, short
+/// rows dominating the weight.
+template <class T>
+Csr<T> make_samg(const GenConfig& cfg = {});
+
+/// DLR1 — adjoint CFD (TAU) on an unstructured hybrid grid, 6 unknowns
+/// per point. Paper: N = 278,502, N_nzr ≈ 144, narrow length spread
+/// (relative width ≈ 2, 80% of rows at >= 0.8 of the maximum).
+template <class T>
+Csr<T> make_dlr1(const GenConfig& cfg = {});
+
+/// DLR2 — aerodynamic gradients (TAU), entirely dense 5x5 subblocks.
+/// Paper: N = 541,980, N_nzr ≈ 315.
+template <class T>
+Csr<T> make_dlr2(const GenConfig& cfg = {});
+
+/// UHBR — aeroelastic turbine-fan investigation (TRACE solver).
+/// Paper: N = 4,485,000 (4.5e6), N_nzr ≈ 123.
+template <class T>
+Csr<T> make_uhbr(const GenConfig& cfg = {});
+
+// ---- General-purpose generators -----------------------------------------
+
+/// Symmetric positive-definite 2D five-point Poisson stencil on an
+/// nx × ny grid (dimension nx*ny).
+template <class T>
+Csr<T> make_poisson2d(index_t nx, index_t ny);
+
+/// Symmetric positive-definite 3D seven-point Poisson stencil.
+template <class T>
+Csr<T> make_poisson3d(index_t nx, index_t ny, index_t nz);
+
+/// Banded matrix with `band` sub/super-diagonals (plus main diagonal).
+template <class T>
+Csr<T> make_banded(index_t n, index_t band);
+
+/// Each row gets exactly `nnzr` uniformly random distinct columns (plus a
+/// guaranteed diagonal when `diagonal` is set, making it irreducible).
+template <class T>
+Csr<T> make_random_uniform(index_t n, index_t nnzr, std::uint64_t seed,
+                           bool diagonal = true);
+
+/// Power-law row lengths: a few very long rows, many short ones — the
+/// adversarial case for ELLPACK storage.
+template <class T>
+Csr<T> make_powerlaw(index_t n, double mean_len, index_t max_len,
+                     std::uint64_t seed);
+
+#define SPMVM_EXTERN_GEN(T)                                               \
+  extern template Csr<T> make_hmep(const GenConfig&);                     \
+  extern template Csr<T> make_samg(const GenConfig&);                     \
+  extern template Csr<T> make_dlr1(const GenConfig&);                     \
+  extern template Csr<T> make_dlr2(const GenConfig&);                     \
+  extern template Csr<T> make_uhbr(const GenConfig&);                     \
+  extern template Csr<T> make_poisson2d(index_t, index_t);                \
+  extern template Csr<T> make_poisson3d(index_t, index_t, index_t);       \
+  extern template Csr<T> make_banded(index_t, index_t);                   \
+  extern template Csr<T> make_random_uniform(index_t, index_t,            \
+                                             std::uint64_t, bool);        \
+  extern template Csr<T> make_powerlaw(index_t, double, index_t,          \
+                                       std::uint64_t)
+
+SPMVM_EXTERN_GEN(float);
+SPMVM_EXTERN_GEN(double);
+#undef SPMVM_EXTERN_GEN
+
+}  // namespace spmvm

@@ -1,0 +1,213 @@
+#include "msg/runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <thread>
+
+namespace spmvm::msg {
+
+namespace detail {
+
+struct Message {
+  int source;
+  int tag;
+  std::vector<std::byte> payload;
+};
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Message> messages;
+};
+
+struct State {
+  explicit State(int n) : n_ranks(n), mailboxes(static_cast<std::size_t>(n)) {
+    reduce_slots.assign(static_cast<std::size_t>(n), 0.0);
+  }
+  int n_ranks;
+  std::vector<Mailbox> mailboxes;
+  std::atomic<bool> aborted{false};
+
+  // Barrier (generation counting).
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  int barrier_waiting = 0;
+  std::uint64_t barrier_generation = 0;
+
+  // Scratch for the simple collectives (guarded by the barrier protocol:
+  // every rank writes its slot, barrier, every rank reads, barrier).
+  std::vector<double> reduce_slots;
+};
+
+}  // namespace detail
+
+using detail::Message;
+using detail::State;
+
+int Comm::size() const { return state_->n_ranks; }
+
+Request Comm::isend(int dest, int tag, std::span<const std::byte> data) {
+  SPMVM_REQUIRE(dest >= 0 && dest < size(), "destination rank out of range");
+  auto& box = state_->mailboxes[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(
+        Message{rank_, tag, {data.begin(), data.end()}});
+  }
+  box.cv.notify_all();
+  Request req;
+  req.kind_ = Request::Kind::send;
+  req.peer_ = dest;
+  req.tag_ = tag;
+  req.done_ = true;  // buffered: complete on return
+  return req;
+}
+
+Request Comm::irecv(int source, int tag, std::span<std::byte> buffer) {
+  SPMVM_REQUIRE(source >= 0 && source < size(), "source rank out of range");
+  Request req;
+  req.kind_ = Request::Kind::recv;
+  req.peer_ = source;
+  req.tag_ = tag;
+  req.buffer_ = buffer;
+  return req;
+}
+
+void Comm::wait(Request& req) {
+  if (req.done_ || req.kind_ == Request::Kind::none) return;
+  SPMVM_REQUIRE(req.kind_ == Request::Kind::recv,
+                "only receive requests can be pending");
+  auto& box = state_->mailboxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    const auto it = std::find_if(
+        box.messages.begin(), box.messages.end(), [&](const Message& m) {
+          return m.source == req.peer_ && m.tag == req.tag_;
+        });
+    if (it != box.messages.end()) {
+      SPMVM_REQUIRE(it->payload.size() == req.buffer_.size(),
+                    "message size does not match receive buffer");
+      std::copy(it->payload.begin(), it->payload.end(), req.buffer_.begin());
+      box.messages.erase(it);
+      req.done_ = true;
+      return;
+    }
+    SPMVM_REQUIRE(!state_->aborted.load(),
+                  "peer rank failed while this rank was receiving");
+    box.cv.wait(lock);
+  }
+}
+
+void Comm::waitall(std::span<Request> reqs) {
+  for (auto& r : reqs) wait(r);
+}
+
+void Comm::send(int dest, int tag, std::span<const std::byte> data) {
+  isend(dest, tag, data);
+}
+
+void Comm::recv(int source, int tag, std::span<std::byte> buffer) {
+  Request req = irecv(source, tag, buffer);
+  wait(req);
+}
+
+void Comm::barrier() {
+  std::unique_lock<std::mutex> lock(state_->barrier_mutex);
+  const std::uint64_t gen = state_->barrier_generation;
+  if (++state_->barrier_waiting == state_->n_ranks) {
+    state_->barrier_waiting = 0;
+    ++state_->barrier_generation;
+    state_->barrier_cv.notify_all();
+  } else {
+    state_->barrier_cv.wait(lock, [&] {
+      return state_->barrier_generation != gen || state_->aborted.load();
+    });
+    SPMVM_REQUIRE(state_->barrier_generation != gen,
+                  "peer rank failed while this rank was in a barrier");
+  }
+}
+
+double Comm::allreduce_sum(double local) {
+  state_->reduce_slots[static_cast<std::size_t>(rank_)] = local;
+  barrier();
+  double total = 0.0;
+  for (const double v : state_->reduce_slots) total += v;
+  barrier();  // keep slots alive until everyone has read
+  return total;
+}
+
+std::vector<double> Comm::allgather(double local) {
+  state_->reduce_slots[static_cast<std::size_t>(rank_)] = local;
+  barrier();
+  std::vector<double> out = state_->reduce_slots;
+  barrier();
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoall(
+    const std::vector<std::vector<std::byte>>& send) {
+  SPMVM_REQUIRE(static_cast<int>(send.size()) == size(),
+                "alltoall needs one buffer per rank");
+  constexpr int kTag = -0x7FFF;  // reserved internal tag
+  std::vector<std::vector<std::byte>> out(send.size());
+  // Exchange sizes first (self-size handled locally).
+  std::vector<std::uint64_t> sizes(send.size());
+  for (int d = 0; d < size(); ++d) {
+    if (d == rank_) continue;
+    const std::uint64_t len = send[static_cast<std::size_t>(d)].size();
+    isend(d, kTag, std::as_bytes(std::span<const std::uint64_t>(&len, 1)));
+  }
+  for (int s = 0; s < size(); ++s) {
+    if (s == rank_) continue;
+    recv(s, kTag,
+         std::as_writable_bytes(std::span<std::uint64_t>(
+             &sizes[static_cast<std::size_t>(s)], 1)));
+  }
+  for (int d = 0; d < size(); ++d) {
+    if (d == rank_) continue;
+    isend(d, kTag + 1, send[static_cast<std::size_t>(d)]);
+  }
+  out[static_cast<std::size_t>(rank_)] = send[static_cast<std::size_t>(rank_)];
+  for (int s = 0; s < size(); ++s) {
+    if (s == rank_) continue;
+    out[static_cast<std::size_t>(s)].resize(sizes[static_cast<std::size_t>(s)]);
+    recv(s, kTag + 1, out[static_cast<std::size_t>(s)]);
+  }
+  return out;
+}
+
+void Runtime::run(int n_ranks, const std::function<void(Comm&)>& rank_fn) {
+  SPMVM_REQUIRE(n_ranks >= 1, "need at least one rank");
+  auto state = std::make_shared<State>(n_ranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n_ranks));
+  threads.reserve(static_cast<std::size_t>(n_ranks));
+  for (int r = 0; r < n_ranks; ++r) {
+    threads.emplace_back([r, state, &rank_fn, &errors] {
+      Comm comm(r, state);
+      try {
+        rank_fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Wake any rank blocked on this one so the run can unwind; the
+        // first captured error is the one rethrown after join.
+        state->aborted.store(true);
+        for (auto& box : state->mailboxes) {
+          std::lock_guard<std::mutex> lock(box.mutex);
+          box.cv.notify_all();
+        }
+        {
+          std::lock_guard<std::mutex> lock(state->barrier_mutex);
+          state->barrier_cv.notify_all();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace spmvm::msg

@@ -1,0 +1,129 @@
+// In-process message-passing runtime.
+//
+// Substitute for MPI on the Dirac cluster (DESIGN.md §2): ranks run as
+// threads of one process and exchange copies of byte buffers through
+// per-rank mailboxes, with MPI-like nonblocking semantics (isend/irecv +
+// wait/waitall, tag and source matching), a barrier, and the collectives
+// the distributed spMVM needs. Functional behaviour only — wall-clock
+// performance of a *cluster* is produced by dist/cluster_model.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spmvm::msg {
+
+namespace detail {
+struct State;
+}
+
+/// Handle for a pending nonblocking operation.
+class Request {
+ public:
+  Request() = default;
+
+ private:
+  friend class Comm;
+  enum class Kind { none, send, recv };
+  Kind kind_ = Kind::none;
+  int peer_ = -1;
+  int tag_ = -1;
+  std::span<std::byte> buffer_{};
+  bool done_ = false;
+};
+
+/// Per-rank communicator handed to the rank function by Runtime::run.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Buffered nonblocking send: the data is copied into the destination
+  /// mailbox immediately; the request completes at once (eager protocol).
+  Request isend(int dest, int tag, std::span<const std::byte> data);
+
+  /// Nonblocking receive of exactly buffer.size() bytes from (source, tag).
+  Request irecv(int source, int tag, std::span<std::byte> buffer);
+
+  void wait(Request& req);
+  void waitall(std::span<Request> reqs);
+
+  /// Blocking conveniences.
+  void send(int dest, int tag, std::span<const std::byte> data);
+  void recv(int source, int tag, std::span<std::byte> buffer);
+
+  void barrier();
+
+  /// Sum-reduction over all ranks; every rank receives the total.
+  double allreduce_sum(double local);
+
+  /// Gather one value from every rank, in rank order, on every rank.
+  std::vector<double> allgather(double local);
+
+  /// Personalized all-to-all exchange of byte buffers: element d of the
+  /// result is what rank d sent to this rank. send[rank()] is returned
+  /// verbatim (self-message).
+  std::vector<std::vector<std::byte>> alltoall(
+      const std::vector<std::vector<std::byte>>& send);
+
+  // ---- typed wrappers ----------------------------------------------------
+
+  template <class T>
+  Request isend_t(int dest, int tag, std::span<const T> data) {
+    return isend(dest, tag, std::as_bytes(data));
+  }
+  template <class T>
+  Request irecv_t(int source, int tag, std::span<T> buffer) {
+    return irecv(source, tag, std::as_writable_bytes(buffer));
+  }
+  template <class T>
+  void send_t(int dest, int tag, std::span<const T> data) {
+    send(dest, tag, std::as_bytes(data));
+  }
+  template <class T>
+  void recv_t(int source, int tag, std::span<T> buffer) {
+    recv(source, tag, std::as_writable_bytes(buffer));
+  }
+  template <class T>
+  std::vector<std::vector<T>> alltoall_t(
+      const std::vector<std::vector<T>>& send) {
+    std::vector<std::vector<std::byte>> raw(send.size());
+    for (std::size_t d = 0; d < send.size(); ++d) {
+      raw[d].resize(send[d].size() * sizeof(T));
+      std::memcpy(raw[d].data(), send[d].data(), raw[d].size());
+    }
+    const auto got = alltoall(raw);
+    std::vector<std::vector<T>> out(got.size());
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      SPMVM_REQUIRE(got[s].size() % sizeof(T) == 0,
+                    "alltoall payload size not a multiple of element size");
+      out[s].resize(got[s].size() / sizeof(T));
+      std::memcpy(out[s].data(), got[s].data(), got[s].size());
+    }
+    return out;
+  }
+
+ private:
+  friend class Runtime;
+  Comm(int rank, std::shared_ptr<detail::State> state)
+      : rank_(rank), state_(std::move(state)) {}
+  int rank_;
+  std::shared_ptr<detail::State> state_;
+};
+
+/// Launches N ranks as threads and blocks until all return. The first
+/// exception thrown by any rank is rethrown on the caller after joining.
+class Runtime {
+ public:
+  static void run(int n_ranks, const std::function<void(Comm&)>& rank_fn);
+};
+
+}  // namespace spmvm::msg

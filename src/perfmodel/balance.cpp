@@ -1,0 +1,36 @@
+#include "perfmodel/balance.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spmvm::perfmodel {
+
+double code_balance(std::size_t scalar_size, double alpha, double nnzr) {
+  SPMVM_REQUIRE(nnzr > 0.0, "N_nzr must be positive");
+  SPMVM_REQUIRE(alpha >= 0.0, "alpha must be non-negative");
+  const auto s = static_cast<double>(scalar_size);
+  return ((s + 4.0) + s * alpha + 2.0 * s / nnzr) / 2.0;
+}
+
+double alpha_ideal(double nnzr) {
+  SPMVM_REQUIRE(nnzr > 0.0, "N_nzr must be positive");
+  return 1.0 / nnzr;
+}
+
+double split_kernel_penalty(std::size_t scalar_size, double nnzr) {
+  SPMVM_REQUIRE(nnzr > 0.0, "N_nzr must be positive");
+  return static_cast<double>(scalar_size) / nnzr;
+}
+
+double bandwidth_bound_gflops(double bandwidth_gbs, double balance) {
+  SPMVM_REQUIRE(balance > 0.0, "balance must be positive");
+  return bandwidth_gbs / balance;
+}
+
+double roofline_gflops(double peak_gflops, double bandwidth_gbs,
+                       double balance) {
+  return std::min(peak_gflops, bandwidth_bound_gflops(bandwidth_gbs, balance));
+}
+
+}  // namespace spmvm::perfmodel

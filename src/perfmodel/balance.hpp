@@ -1,0 +1,31 @@
+// Code-balance model, Eq. 1 of the paper.
+//
+// Worst-case balance of the ELLPACK/pJDS kernels:
+//   B_W = ( (s + 4) + s·α + 2·s/N_nzr ) / 2   bytes/flop
+// with s the scalar size (8 in the paper's DP formula), 4 bytes of column
+// index per non-zero, α ∈ [1/N_nzr, 1] the RHS re-load factor, and the
+// per-row result update (load + store of c[i]).
+#pragma once
+
+#include <cstddef>
+
+namespace spmvm::perfmodel {
+
+/// Bytes per flop of the spMVM kernel (Eq. 1, generalized to SP/DP).
+double code_balance(std::size_t scalar_size, double alpha, double nnzr);
+
+/// Lower bound of α: every RHS element loaded exactly once (κ = 0 in [4]).
+double alpha_ideal(double nnzr);
+
+/// Splitting the spMVM into local and non-local parts writes the result
+/// twice, adding 2·s/N_nzr bytes/flop (Sec. III-A, naive overlap).
+double split_kernel_penalty(std::size_t scalar_size, double nnzr);
+
+/// Bandwidth-limited throughput in GF/s: bandwidth / balance.
+double bandwidth_bound_gflops(double bandwidth_gbs, double balance);
+
+/// Roofline: min(peak, bandwidth-bound) in GF/s.
+double roofline_gflops(double peak_gflops, double bandwidth_gbs,
+                       double balance);
+
+}  // namespace spmvm::perfmodel

@@ -1,0 +1,32 @@
+#include "perfmodel/model_eval.hpp"
+
+#include "gpusim/pcie.hpp"
+#include "perfmodel/balance.hpp"
+
+namespace spmvm::perfmodel {
+
+template <class T>
+ModelVsSim evaluate(const gpusim::DeviceSpec& dev, const Csr<T>& a,
+                    gpusim::FormatKind kind, bool ecc) {
+  ModelVsSim r;
+  gpusim::SimOptions opt;
+  opt.ecc = ecc;
+  const auto sim = gpusim::simulate_format(dev, a, kind, opt);
+  r.alpha_measured = sim.stats.measured_alpha(sizeof(T));
+  r.balance_model = code_balance(sizeof(T), r.alpha_measured, a.avg_row_len());
+  r.balance_sim = sim.code_balance;
+  r.gflops_model =
+      bandwidth_bound_gflops(dev.bandwidth_bytes(ecc) / 1e9, r.balance_model);
+  r.gflops_sim = sim.gflops;
+  r.gflops_with_pcie =
+      gpusim::with_pcie_transfers(dev, sim, a.n_rows, a.n_cols, sizeof(T))
+          .gflops_total;
+  return r;
+}
+
+template ModelVsSim evaluate(const gpusim::DeviceSpec&, const Csr<float>&,
+                             gpusim::FormatKind, bool);
+template ModelVsSim evaluate(const gpusim::DeviceSpec&, const Csr<double>&,
+                             gpusim::FormatKind, bool);
+
+}  // namespace spmvm::perfmodel

@@ -1,0 +1,34 @@
+// Cross-checks between the analytic model (Eqs. 1-4) and the simulator:
+// predicted vs. simulated throughput for a given matrix, with α taken
+// from the simulator's L2 measurement.
+#pragma once
+
+#include "gpusim/gpu_spmv.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvm::perfmodel {
+
+struct ModelVsSim {
+  double alpha_measured = 0.0;     // from the L2 simulation
+  double balance_model = 0.0;      // Eq. 1 at the measured α
+  double balance_sim = 0.0;        // DRAM bytes per flop in the simulator
+  double gflops_model = 0.0;       // bandwidth / balance
+  double gflops_sim = 0.0;         // simulator throughput
+  double gflops_with_pcie = 0.0;   // simulator incl. host transfers
+};
+
+/// Run format `kind` through the simulator and evaluate Eq. 1 at the α
+/// the simulator measured — the apples-to-apples comparison behind the
+/// model discussion of Sec. II-B.
+template <class T>
+ModelVsSim evaluate(const gpusim::DeviceSpec& dev, const Csr<T>& a,
+                    gpusim::FormatKind kind, bool ecc);
+
+extern template ModelVsSim evaluate(const gpusim::DeviceSpec&,
+                                    const Csr<float>&, gpusim::FormatKind,
+                                    bool);
+extern template ModelVsSim evaluate(const gpusim::DeviceSpec&,
+                                    const Csr<double>&, gpusim::FormatKind,
+                                    bool);
+
+}  // namespace spmvm::perfmodel

@@ -1,0 +1,48 @@
+#include "perfmodel/pcie_impact.hpp"
+
+#include "util/error.hpp"
+
+namespace spmvm::perfmodel {
+
+double t_mvm_seconds(double n_rows, double nnzr, double alpha,
+                     double bgpu_gbs) {
+  SPMVM_REQUIRE(bgpu_gbs > 0.0, "GPU bandwidth must be positive");
+  return 8.0 * n_rows * (nnzr * (alpha + 1.5) + 2.0) / (bgpu_gbs * 1e9);
+}
+
+double t_pci_seconds(double n_rows, double bpci_gbs) {
+  SPMVM_REQUIRE(bpci_gbs > 0.0, "PCIe bandwidth must be positive");
+  return 16.0 * n_rows / (bpci_gbs * 1e9);
+}
+
+double nnzr_upper_for_50pct_penalty(double bw_ratio, double alpha) {
+  SPMVM_REQUIRE(bw_ratio > 1.0, "bandwidth ratio must exceed 1");
+  return 2.0 * (bw_ratio - 1.0) / (alpha + 1.5);
+}
+
+double nnzr_upper_for_50pct_penalty_worst_alpha(double bw_ratio) {
+  // α = 1/N_nzr makes Eq. 3 implicit:
+  //   N (1/N + 3/2) <= 2 (r - 1) - ... => 1 + 1.5 N <= 2 (r - 1)
+  SPMVM_REQUIRE(bw_ratio > 1.0, "bandwidth ratio must exceed 1");
+  return (2.0 * (bw_ratio - 1.0) - 1.0) / 1.5;
+}
+
+double nnzr_lower_for_10pct_penalty(double bw_ratio, double alpha) {
+  SPMVM_REQUIRE(bw_ratio > 0.1, "bandwidth ratio must exceed 0.1");
+  return (20.0 * bw_ratio - 2.0) / (alpha + 1.5);
+}
+
+double nnzr_lower_for_10pct_penalty_worst_alpha(double bw_ratio) {
+  //   N (1/N + 3/2) >= 20 r - 2  =>  N >= (20 r - 3) / 1.5
+  SPMVM_REQUIRE(bw_ratio > 0.15, "bandwidth ratio must exceed 0.15");
+  return (20.0 * bw_ratio - 3.0) / 1.5;
+}
+
+double pcie_time_fraction(double n_rows, double nnzr, double alpha,
+                          double bgpu_gbs, double bpci_gbs) {
+  const double t_mvm = t_mvm_seconds(n_rows, nnzr, alpha, bgpu_gbs);
+  const double t_pci = t_pci_seconds(n_rows, bpci_gbs);
+  return t_pci / (t_mvm + t_pci);
+}
+
+}  // namespace spmvm::perfmodel

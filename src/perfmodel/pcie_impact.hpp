@@ -1,0 +1,36 @@
+// PCIe-impact model, Eqs. 2-4 of the paper (double precision).
+//
+//   T_MVM = 8N [ N_nzr (α + 3/2) + 2 ] / B_GPU        (kernel)
+//   T_PCI = 16N / B_PCI                               (RHS up + LHS down)
+//
+// From these, the favorable range of N_nzr:
+//   >= 50% PCIe penalty (T_MVM <= T_PCI):  N_nzr <= 2 (B_GPU/B_PCI - 1) / (α + 3/2)   (Eq. 3)
+//   <= 10% PCIe penalty (T_MVM >= 10 T_PCI): N_nzr >= (20 B_GPU/B_PCI - 2) / (α + 3/2) (Eq. 4)
+#pragma once
+
+namespace spmvm::perfmodel {
+
+/// Kernel wallclock for an N-row DP spMVM at bandwidth `bgpu_gbs` (Eq. 2).
+double t_mvm_seconds(double n_rows, double nnzr, double alpha,
+                     double bgpu_gbs);
+
+/// Host-transfer wallclock for the DP RHS/LHS vectors (Eq. 2).
+double t_pci_seconds(double n_rows, double bpci_gbs);
+
+/// Eq. 3: largest N_nzr that still suffers >= 50% PCIe penalty.
+double nnzr_upper_for_50pct_penalty(double bw_ratio, double alpha);
+
+/// Eq. 3 in the worst case α = 1/N_nzr (implicit in N_nzr, solved).
+double nnzr_upper_for_50pct_penalty_worst_alpha(double bw_ratio);
+
+/// Eq. 4: smallest N_nzr with <= 10% PCIe penalty.
+double nnzr_lower_for_10pct_penalty(double bw_ratio, double alpha);
+
+/// Eq. 4 in the worst case α = 1/N_nzr.
+double nnzr_lower_for_10pct_penalty_worst_alpha(double bw_ratio);
+
+/// Fraction of total time spent in PCIe transfers for given parameters.
+double pcie_time_fraction(double n_rows, double nnzr, double alpha,
+                          double bgpu_gbs, double bpci_gbs);
+
+}  // namespace spmvm::perfmodel

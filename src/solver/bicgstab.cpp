@@ -1,0 +1,120 @@
+#include "solver/bicgstab.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "solver/kernels.hpp"
+
+namespace spmvm::solver {
+
+template <class T>
+BicgstabResult bicgstab(const Operator<T>& a, std::span<const T> b,
+                        std::span<T> x, double tol, int max_iterations) {
+  const auto n = static_cast<std::size_t>(a.size());
+  std::vector<T> r(n), r0(n), p(n), v(n), s(n), t(n);
+
+  a.apply(x, std::span<T>(v));
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - v[i];
+  copy<T>(r, r0);
+  copy<T>(r, p);
+
+  const double bnorm = norm2<T>(b);
+  const double stop = tol * (bnorm > 0.0 ? bnorm : 1.0);
+
+  BicgstabResult result;
+  result.residual_norm = norm2<T>(std::span<const T>(r));
+  if (result.residual_norm <= stop) {
+    result.converged = true;
+    return result;
+  }
+
+  double rho = dot<T>(std::span<const T>(r0), std::span<const T>(r));
+  for (int it = 0; it < max_iterations; ++it) {
+    a.apply(std::span<const T>(p), std::span<T>(v));
+    const double r0v = dot<T>(std::span<const T>(r0), std::span<const T>(v));
+    if (std::abs(r0v) < 1e-300) {
+      result.breakdown = true;
+      break;
+    }
+    const double alpha = rho / r0v;
+    for (std::size_t i = 0; i < n; ++i)
+      s[i] = r[i] - static_cast<T>(alpha) * v[i];
+
+    // Early exit on the half step.
+    if (norm2<T>(std::span<const T>(s)) <= stop) {
+      axpy<T>(static_cast<T>(alpha), p, x);
+      result.iterations = it + 1;
+      result.residual_norm = norm2<T>(std::span<const T>(s));
+      result.converged = true;
+      return result;
+    }
+
+    a.apply(std::span<const T>(s), std::span<T>(t));
+    const double tt = dot<T>(std::span<const T>(t), std::span<const T>(t));
+    if (tt < 1e-300) {
+      result.breakdown = true;
+      break;
+    }
+    const double omega =
+        dot<T>(std::span<const T>(t), std::span<const T>(s)) / tt;
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] += static_cast<T>(alpha) * p[i] + static_cast<T>(omega) * s[i];
+    for (std::size_t i = 0; i < n; ++i)
+      r[i] = s[i] - static_cast<T>(omega) * t[i];
+
+    result.iterations = it + 1;
+    result.residual_norm = norm2<T>(std::span<const T>(r));
+    if (result.residual_norm <= stop) {
+      result.converged = true;
+      return result;
+    }
+    const double rho_new =
+        dot<T>(std::span<const T>(r0), std::span<const T>(r));
+    if (std::abs(rho_new) < 1e-300 || std::abs(omega) < 1e-300) {
+      result.breakdown = true;
+      break;
+    }
+    const double beta = (rho_new / rho) * (alpha / omega);
+    for (std::size_t i = 0; i < n; ++i)
+      p[i] = r[i] + static_cast<T>(beta) *
+                        (p[i] - static_cast<T>(omega) * v[i]);
+    rho = rho_new;
+  }
+  return result;
+}
+
+template <class T>
+BicgstabResult bicgstab_pjds(const Csr<T>& a, std::span<const T> b,
+                             std::span<T> x, double tol, int max_iterations,
+                             const PjdsOptions& options) {
+  PjdsOptions opt = options;
+  opt.permute_columns = PermuteColumns::yes;
+  auto pjds = std::make_shared<const Pjds<T>>(Pjds<T>::from_csr(a, opt));
+  const auto n = static_cast<std::size_t>(a.n_rows);
+
+  std::vector<T> b_perm(n), x_perm(n);
+  pjds->perm.to_permuted(b, std::span<T>(b_perm));
+  pjds->perm.to_permuted(std::span<const T>(x), std::span<T>(x_perm));
+
+  const auto op = make_permuted_operator<T>(pjds);
+  const BicgstabResult result =
+      bicgstab(op, std::span<const T>(b_perm), std::span<T>(x_perm), tol,
+               max_iterations);
+
+  pjds->perm.from_permuted(std::span<const T>(x_perm), x);
+  return result;
+}
+
+#define SPMVM_INSTANTIATE_BICGSTAB(T)                                  \
+  template BicgstabResult bicgstab(const Operator<T>&,                 \
+                                   std::span<const T>, std::span<T>,   \
+                                   double, int);                       \
+  template BicgstabResult bicgstab_pjds(const Csr<T>&,                 \
+                                        std::span<const T>,            \
+                                        std::span<T>, double, int,     \
+                                        const PjdsOptions&)
+
+SPMVM_INSTANTIATE_BICGSTAB(float);
+SPMVM_INSTANTIATE_BICGSTAB(double);
+
+}  // namespace spmvm::solver

@@ -1,0 +1,44 @@
+// BiCGSTAB — Krylov solver for the *nonsymmetric* systems the paper's
+// DLR1/DLR2/UHBR matrices come from (CG requires SPD).
+#pragma once
+
+#include "core/pjds.hpp"
+#include "solver/operator.hpp"
+
+namespace spmvm::solver {
+
+struct BicgstabResult {
+  int iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+  bool breakdown = false;  // rho or omega collapsed
+};
+
+/// Solve A·x = b for general (nonsymmetric) A. `x` carries the initial
+/// guess in and the solution out. Converges when ||r|| <= tol·||b||.
+template <class T>
+BicgstabResult bicgstab(const Operator<T>& a, std::span<const T> b,
+                        std::span<T> x, double tol = 1e-10,
+                        int max_iterations = 1000);
+
+/// BiCGSTAB through pJDS, iterating in the permuted basis (permutations
+/// only at entry and exit, as in Sec. II-A).
+template <class T>
+BicgstabResult bicgstab_pjds(const Csr<T>& a, std::span<const T> b,
+                             std::span<T> x, double tol = 1e-10,
+                             int max_iterations = 1000,
+                             const PjdsOptions& options = {});
+
+#define SPMVM_EXTERN_BICGSTAB(T)                                          \
+  extern template BicgstabResult bicgstab(const Operator<T>&,             \
+                                          std::span<const T>,             \
+                                          std::span<T>, double, int);     \
+  extern template BicgstabResult bicgstab_pjds(                           \
+      const Csr<T>&, std::span<const T>, std::span<T>, double, int,       \
+      const PjdsOptions&)
+
+SPMVM_EXTERN_BICGSTAB(float);
+SPMVM_EXTERN_BICGSTAB(double);
+#undef SPMVM_EXTERN_BICGSTAB
+
+}  // namespace spmvm::solver

@@ -1,0 +1,85 @@
+#include "solver/cg.hpp"
+
+#include <vector>
+
+#include "solver/kernels.hpp"
+
+namespace spmvm::solver {
+
+template <class T>
+CgResult cg(const Operator<T>& a, std::span<const T> b, std::span<T> x,
+            double tol, int max_iterations) {
+  const auto n = static_cast<std::size_t>(a.size());
+  std::vector<T> r(n), p(n), ap(n);
+
+  // r = b - A x0; p = r.
+  a.apply(x, std::span<T>(ap));
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  copy<T>(r, p);
+
+  const double bnorm = norm2<T>(b);
+  const double stop = tol * (bnorm > 0.0 ? bnorm : 1.0);
+  double rr = dot<T>(r, r);
+
+  CgResult result;
+  result.residual_norm = std::sqrt(rr);
+  if (result.residual_norm <= stop) {
+    result.converged = true;
+    return result;
+  }
+
+  for (int it = 0; it < max_iterations; ++it) {
+    a.apply(std::span<const T>(p.data(), n), std::span<T>(ap));
+    const double pap = dot<T>(std::span<const T>(p), std::span<const T>(ap));
+    if (pap <= 0.0) break;  // not SPD (or breakdown): bail out
+    const T alpha = static_cast<T>(rr / pap);
+    axpy<T>(alpha, p, x);
+    axpy<T>(static_cast<T>(-alpha), ap, r);
+    const double rr_new = dot<T>(r, r);
+    result.iterations = it + 1;
+    result.residual_norm = std::sqrt(rr_new);
+    if (result.residual_norm <= stop) {
+      result.converged = true;
+      break;
+    }
+    const T beta = static_cast<T>(rr_new / rr);
+    xpay<T>(r, beta, p);  // p = r + beta p
+    rr = rr_new;
+  }
+  return result;
+}
+
+template <class T>
+CgResult cg_pjds(const Csr<T>& a, std::span<const T> b, std::span<T> x,
+                 double tol, int max_iterations, const PjdsOptions& options) {
+  PjdsOptions opt = options;
+  opt.permute_columns = PermuteColumns::yes;
+  auto pjds = std::make_shared<const Pjds<T>>(Pjds<T>::from_csr(a, opt));
+  const auto n = static_cast<std::size_t>(a.n_rows);
+
+  // Permute once on entry...
+  std::vector<T> b_perm(n), x_perm(n);
+  pjds->perm.to_permuted(b, std::span<T>(b_perm));
+  pjds->perm.to_permuted(std::span<const T>(x), std::span<T>(x_perm));
+
+  // ... iterate entirely in the permuted basis ...
+  const auto op = make_permuted_operator<T>(pjds);
+  const CgResult result =
+      cg(op, std::span<const T>(b_perm), std::span<T>(x_perm), tol,
+         max_iterations);
+
+  // ... and permute once on exit.
+  pjds->perm.from_permuted(std::span<const T>(x_perm), x);
+  return result;
+}
+
+#define SPMVM_INSTANTIATE_CG(T)                                        \
+  template CgResult cg(const Operator<T>&, std::span<const T>,         \
+                       std::span<T>, double, int);                     \
+  template CgResult cg_pjds(const Csr<T>&, std::span<const T>,         \
+                            std::span<T>, double, int, const PjdsOptions&)
+
+SPMVM_INSTANTIATE_CG(float);
+SPMVM_INSTANTIATE_CG(double);
+
+}  // namespace spmvm::solver

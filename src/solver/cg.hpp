@@ -1,0 +1,43 @@
+// Conjugate Gradient — the archetypal "sparse solver dominated by spMVM"
+// the paper's introduction motivates, including the pJDS variant that
+// iterates entirely in the permuted basis.
+#pragma once
+
+#include "core/pjds.hpp"
+#include "solver/operator.hpp"
+
+namespace spmvm::solver {
+
+struct CgResult {
+  int iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+/// Solve A·x = b for symmetric positive-definite A. `x` carries the
+/// initial guess in and the solution out. Converges when
+/// ||r|| <= tol · ||b||.
+template <class T>
+CgResult cg(const Operator<T>& a, std::span<const T> b, std::span<T> x,
+            double tol = 1e-10, int max_iterations = 1000);
+
+/// CG through the pJDS format: builds pJDS (symmetric permutation),
+/// permutes b and the initial guess once, iterates in the permuted basis,
+/// and permutes the solution back — the workflow of Sec. II-A.
+template <class T>
+CgResult cg_pjds(const Csr<T>& a, std::span<const T> b, std::span<T> x,
+                 double tol = 1e-10, int max_iterations = 1000,
+                 const PjdsOptions& options = {});
+
+#define SPMVM_EXTERN_CG(T)                                             \
+  extern template CgResult cg(const Operator<T>&, std::span<const T>,  \
+                              std::span<T>, double, int);              \
+  extern template CgResult cg_pjds(const Csr<T>&, std::span<const T>,  \
+                                   std::span<T>, double, int,          \
+                                   const PjdsOptions&)
+
+SPMVM_EXTERN_CG(float);
+SPMVM_EXTERN_CG(double);
+#undef SPMVM_EXTERN_CG
+
+}  // namespace spmvm::solver

@@ -1,0 +1,46 @@
+// BLAS-1 style vector kernels used by the Krylov solvers.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+namespace spmvm::solver {
+
+template <class T>
+double dot(std::span<const T> a, std::span<const T> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  return acc;
+}
+
+template <class T>
+double norm2(std::span<const T> a) {
+  return std::sqrt(dot(a, a));
+}
+
+/// y += alpha * x
+template <class T>
+void axpy(T alpha, std::span<const T> x, std::span<T> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// x = alpha * x
+template <class T>
+void scale(T alpha, std::span<T> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+/// y = x
+template <class T>
+void copy(std::span<const T> x, std::span<T> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+}
+
+/// x = alpha*x + y  (used by CG's p-update)
+template <class T>
+void xpay(std::span<const T> y, T alpha, std::span<T> x) {
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = alpha * x[i] + y[i];
+}
+
+}  // namespace spmvm::solver

@@ -1,0 +1,135 @@
+#include "solver/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "solver/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace spmvm::solver {
+
+double tridiag_max_eigenvalue(std::span<const double> alpha,
+                              std::span<const double> beta) {
+  const std::size_t n = alpha.size();
+  SPMVM_REQUIRE(n >= 1, "empty tridiagonal matrix");
+  SPMVM_REQUIRE(beta.size() + 1 == n, "beta must have n-1 entries");
+
+  // Gershgorin bounds.
+  double lo = alpha[0], hi = alpha[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double b_left = i > 0 ? std::abs(beta[i - 1]) : 0.0;
+    const double b_right = i + 1 < n ? std::abs(beta[i]) : 0.0;
+    lo = std::min(lo, alpha[i] - b_left - b_right);
+    hi = std::max(hi, alpha[i] + b_left + b_right);
+  }
+
+  // Sturm count: eigenvalues strictly below x.
+  const auto count_below = [&](double x) {
+    int count = 0;
+    double d = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double b2 = i > 0 ? beta[i - 1] * beta[i - 1] : 0.0;
+      d = alpha[i] - x - (d != 0.0 ? b2 / d : b2 / 1e-300);
+      if (d < 0.0) ++count;
+    }
+    return count;
+  };
+
+  // Bisect for the largest eigenvalue: the unique x with count(x) = n-1
+  // below, n at x+.
+  double a = lo - 1e-12, b = hi + 1e-12;
+  for (int it = 0; it < 200 && b - a > 1e-13 * std::max(1.0, std::abs(b));
+       ++it) {
+    const double mid = 0.5 * (a + b);
+    if (count_below(mid) >= static_cast<int>(n)) {
+      b = mid;
+    } else {
+      a = mid;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+template <class T>
+LanczosResult lanczos_max_eigenvalue(const Operator<T>& a, int max_iterations,
+                                     double tol, std::uint64_t seed) {
+  const auto n = static_cast<std::size_t>(a.size());
+  LanczosResult result;
+  if (n == 0) return result;
+
+  Rng rng(seed);
+  std::vector<T> v(n), v_prev(n, T{0}), w(n);
+  for (auto& x : v) x = static_cast<T>(rng.uniform(-1.0, 1.0));
+  const double vnorm = norm2<T>(std::span<const T>(v));
+  scale<T>(static_cast<T>(1.0 / vnorm), v);
+
+  std::vector<double> alpha, beta;
+  double prev_estimate = 0.0;
+  for (int it = 0; it < max_iterations; ++it) {
+    a.apply(std::span<const T>(v), std::span<T>(w));
+    const double al = dot<T>(std::span<const T>(w), std::span<const T>(v));
+    alpha.push_back(al);
+    // w = w - alpha v - beta v_prev
+    axpy<T>(static_cast<T>(-al), std::span<const T>(v), std::span<T>(w));
+    if (!beta.empty())
+      axpy<T>(static_cast<T>(-beta.back()), std::span<const T>(v_prev),
+              std::span<T>(w));
+    const double bt = norm2<T>(std::span<const T>(w));
+
+    const double estimate = tridiag_max_eigenvalue(alpha, beta);
+    result.eigenvalue = estimate;
+    result.iterations = it + 1;
+    if (it > 0 && std::abs(estimate - prev_estimate) <=
+                      tol * std::max(1.0, std::abs(estimate))) {
+      result.converged = true;
+      break;
+    }
+    prev_estimate = estimate;
+    if (bt < 1e-14) {  // invariant subspace found: exact answer
+      result.converged = true;
+      break;
+    }
+    beta.push_back(bt);
+    v_prev = v;
+    for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<T>(w[i] / bt);
+  }
+  return result;
+}
+
+double tridiag_min_eigenvalue(std::span<const double> alpha,
+                              std::span<const double> beta) {
+  // min eig(T) = -max eig(-T); negating the diagonal suffices because
+  // the off-diagonal signs do not affect the spectrum of a tridiagonal
+  // (similarity by a diagonal +-1 matrix).
+  std::vector<double> neg(alpha.begin(), alpha.end());
+  for (auto& v : neg) v = -v;
+  return -tridiag_max_eigenvalue(neg, beta);
+}
+
+template <class T>
+LanczosResult lanczos_min_eigenvalue(const Operator<T>& a, int max_iterations,
+                                     double tol, std::uint64_t seed) {
+  // Run Lanczos on -A by wrapping the operator.
+  const Operator<T> negated(
+      a.size(), [&a, n = static_cast<std::size_t>(a.size())](
+                    std::span<const T> x, std::span<T> y) {
+        a.apply(x, y);
+        for (std::size_t i = 0; i < n; ++i) y[i] = -y[i];
+      });
+  LanczosResult r =
+      lanczos_max_eigenvalue(negated, max_iterations, tol, seed);
+  r.eigenvalue = -r.eigenvalue;
+  return r;
+}
+
+template LanczosResult lanczos_max_eigenvalue(const Operator<float>&, int,
+                                              double, std::uint64_t);
+template LanczosResult lanczos_max_eigenvalue(const Operator<double>&, int,
+                                              double, std::uint64_t);
+template LanczosResult lanczos_min_eigenvalue(const Operator<float>&, int,
+                                              double, std::uint64_t);
+template LanczosResult lanczos_min_eigenvalue(const Operator<double>&, int,
+                                              double, std::uint64_t);
+
+}  // namespace spmvm::solver

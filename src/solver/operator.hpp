@@ -1,0 +1,66 @@
+// Type-erased linear operator y = A·x for the Krylov solvers, with
+// factories for every storage format. The pJDS factory keeps the solver
+// entirely in the permuted basis — the paper's recommended usage, where
+// permutation happens only before and after the iteration (Sec. II-A).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "core/pjds.hpp"
+#include "core/pjds_spmv.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/spmv_host.hpp"
+#include "util/error.hpp"
+
+namespace spmvm::solver {
+
+template <class T>
+class Operator {
+ public:
+  using ApplyFn = std::function<void(std::span<const T>, std::span<T>)>;
+
+  Operator(index_t n, ApplyFn fn) : n_(n), fn_(std::move(fn)) {
+    SPMVM_REQUIRE(n >= 0, "operator size must be >= 0");
+  }
+
+  index_t size() const { return n_; }
+
+  void apply(std::span<const T> x, std::span<T> y) const {
+    SPMVM_REQUIRE(x.size() >= static_cast<std::size_t>(n_) &&
+                      y.size() >= static_cast<std::size_t>(n_),
+                  "operator vectors too small");
+    fn_(x, y);
+  }
+
+ private:
+  index_t n_;
+  ApplyFn fn_;
+};
+
+/// Operator over a CSR matrix (kept alive by shared ownership).
+template <class T>
+Operator<T> make_operator(std::shared_ptr<const Csr<T>> a, int n_threads = 1) {
+  SPMVM_REQUIRE(a->n_rows == a->n_cols, "solvers need a square operator");
+  const index_t n = a->n_rows;
+  return Operator<T>(n, [a, n_threads](std::span<const T> x, std::span<T> y) {
+    spmv(*a, x, y, n_threads);
+  });
+}
+
+/// Operator over a pJDS matrix, applied in the *permuted* basis: x and y
+/// are permuted vectors. Requires a format built with symmetric
+/// permutation so the basis is self-consistent.
+template <class T>
+Operator<T> make_permuted_operator(std::shared_ptr<const Pjds<T>> a,
+                                   int n_threads = 1) {
+  SPMVM_REQUIRE(a->columns_permuted,
+                "permuted-basis solver needs PermuteColumns::yes");
+  const index_t n = a->n_rows;
+  return Operator<T>(n, [a, n_threads](std::span<const T> x, std::span<T> y) {
+    spmv(*a, x, y, n_threads);
+  });
+}
+
+}  // namespace spmvm::solver

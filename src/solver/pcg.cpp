@@ -1,0 +1,80 @@
+#include "solver/pcg.hpp"
+
+#include <cmath>
+
+#include "solver/kernels.hpp"
+
+namespace spmvm::solver {
+
+template <class T>
+std::vector<T> extract_diagonal(const Csr<T>& a) {
+  SPMVM_REQUIRE(a.n_rows == a.n_cols, "diagonal of a non-square matrix");
+  std::vector<T> d(static_cast<std::size_t>(a.n_rows), T{0});
+  for (index_t i = 0; i < a.n_rows; ++i)
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      if (a.col_idx[static_cast<std::size_t>(k)] == i)
+        d[static_cast<std::size_t>(i)] = a.val[static_cast<std::size_t>(k)];
+  return d;
+}
+
+template <class T>
+CgResult pcg_jacobi(const Operator<T>& a, std::span<const T> diagonal,
+                    std::span<const T> b, std::span<T> x, double tol,
+                    int max_iterations) {
+  const auto n = static_cast<std::size_t>(a.size());
+  SPMVM_REQUIRE(diagonal.size() >= n, "diagonal too short");
+  for (std::size_t i = 0; i < n; ++i)
+    SPMVM_REQUIRE(diagonal[i] != T{0},
+                  "Jacobi preconditioner needs a non-zero diagonal");
+
+  std::vector<T> r(n), z(n), p(n), ap(n);
+  a.apply(x, std::span<T>(ap));
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diagonal[i];
+  copy<T>(z, p);
+
+  const double bnorm = norm2<T>(b);
+  const double stop = tol * (bnorm > 0.0 ? bnorm : 1.0);
+  double rz = dot<T>(std::span<const T>(r), std::span<const T>(z));
+
+  CgResult result;
+  result.residual_norm = norm2<T>(std::span<const T>(r));
+  if (result.residual_norm <= stop) {
+    result.converged = true;
+    return result;
+  }
+
+  for (int it = 0; it < max_iterations; ++it) {
+    a.apply(std::span<const T>(p), std::span<T>(ap));
+    const double pap = dot<T>(std::span<const T>(p), std::span<const T>(ap));
+    if (pap <= 0.0) break;
+    const T alpha = static_cast<T>(rz / pap);
+    axpy<T>(alpha, p, x);
+    axpy<T>(static_cast<T>(-alpha), ap, r);
+    result.iterations = it + 1;
+    result.residual_norm = norm2<T>(std::span<const T>(r));
+    if (result.residual_norm <= stop) {
+      result.converged = true;
+      break;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diagonal[i];
+    const double rz_new =
+        dot<T>(std::span<const T>(r), std::span<const T>(z));
+    const T beta = static_cast<T>(rz_new / rz);
+    xpay<T>(z, beta, p);  // p = z + beta p
+    rz = rz_new;
+  }
+  return result;
+}
+
+#define SPMVM_INSTANTIATE_PCG(T)                                       \
+  template std::vector<T> extract_diagonal(const Csr<T>&);             \
+  template CgResult pcg_jacobi(const Operator<T>&, std::span<const T>, \
+                               std::span<const T>, std::span<T>,       \
+                               double, int)
+
+SPMVM_INSTANTIATE_PCG(float);
+SPMVM_INSTANTIATE_PCG(double);
+
+}  // namespace spmvm::solver

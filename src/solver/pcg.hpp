@@ -1,0 +1,35 @@
+// Jacobi-preconditioned Conjugate Gradient.
+//
+// Diagonal preconditioning is the cheapest accelerator for the
+// diagonally dominant systems the generators produce, and it adds the
+// element-wise M⁻¹·r step a production solver would run between spMVMs.
+#pragma once
+
+#include "solver/cg.hpp"
+#include "solver/operator.hpp"
+
+namespace spmvm::solver {
+
+/// Extract the diagonal of a CSR matrix (missing entries are 0).
+template <class T>
+std::vector<T> extract_diagonal(const Csr<T>& a);
+
+/// Preconditioned CG with M = diag(d): solve A·x = b, converging when
+/// ||r|| <= tol·||b||. All diagonal entries must be non-zero.
+template <class T>
+CgResult pcg_jacobi(const Operator<T>& a, std::span<const T> diagonal,
+                    std::span<const T> b, std::span<T> x, double tol = 1e-10,
+                    int max_iterations = 1000);
+
+#define SPMVM_EXTERN_PCG(T)                                              \
+  extern template std::vector<T> extract_diagonal(const Csr<T>&);        \
+  extern template CgResult pcg_jacobi(const Operator<T>&,                \
+                                      std::span<const T>,                \
+                                      std::span<const T>, std::span<T>,  \
+                                      double, int)
+
+SPMVM_EXTERN_PCG(float);
+SPMVM_EXTERN_PCG(double);
+#undef SPMVM_EXTERN_PCG
+
+}  // namespace spmvm::solver

@@ -1,0 +1,97 @@
+#include "sparse/convert.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace spmvm {
+
+template <class T>
+Csr<T> permute_csr(const Csr<T>& a, const Permutation& perm,
+                   PermuteColumns permute_columns) {
+  SPMVM_REQUIRE(perm.size() == a.n_rows, "permutation size must match rows");
+  if (permute_columns == PermuteColumns::yes)
+    SPMVM_REQUIRE(a.n_rows == a.n_cols,
+                  "symmetric permutation requires a square matrix");
+
+  Csr<T> out;
+  out.n_rows = a.n_rows;
+  out.n_cols = a.n_cols;
+  out.row_ptr.assign(static_cast<std::size_t>(a.n_rows) + 1, 0);
+  out.col_idx.resize(static_cast<std::size_t>(a.nnz()));
+  out.val.resize(static_cast<std::size_t>(a.nnz()));
+
+  for (index_t r = 0; r < a.n_rows; ++r)
+    out.row_ptr[static_cast<std::size_t>(r) + 1] =
+        out.row_ptr[static_cast<std::size_t>(r)] + a.row_len(perm.old_of(r));
+
+  std::vector<std::pair<index_t, T>> row;
+  for (index_t r = 0; r < a.n_rows; ++r) {
+    const index_t src = perm.old_of(r);
+    const offset_t b = a.row_ptr[static_cast<std::size_t>(src)];
+    const offset_t e = a.row_ptr[static_cast<std::size_t>(src) + 1];
+    row.clear();
+    for (offset_t k = b; k < e; ++k) {
+      index_t c = a.col_idx[static_cast<std::size_t>(k)];
+      if (permute_columns == PermuteColumns::yes) c = perm.new_of(c);
+      row.emplace_back(c, a.val[static_cast<std::size_t>(k)]);
+    }
+    if (permute_columns == PermuteColumns::yes)
+      std::sort(row.begin(), row.end(),
+                [](const auto& x, const auto& y) { return x.first < y.first; });
+    offset_t dst = out.row_ptr[static_cast<std::size_t>(r)];
+    for (const auto& [c, v] : row) {
+      out.col_idx[static_cast<std::size_t>(dst)] = c;
+      out.val[static_cast<std::size_t>(dst)] = v;
+      ++dst;
+    }
+  }
+  return out;
+}
+
+template <class T>
+Csr<T> transpose(const Csr<T>& a) {
+  Csr<T> t;
+  t.n_rows = a.n_cols;
+  t.n_cols = a.n_rows;
+  t.row_ptr.assign(static_cast<std::size_t>(a.n_cols) + 1, 0);
+  t.col_idx.resize(static_cast<std::size_t>(a.nnz()));
+  t.val.resize(static_cast<std::size_t>(a.nnz()));
+
+  for (offset_t k = 0; k < a.nnz(); ++k)
+    t.row_ptr[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(k)]) +
+              1]++;
+  for (index_t c = 0; c < a.n_cols; ++c)
+    t.row_ptr[static_cast<std::size_t>(c) + 1] +=
+        t.row_ptr[static_cast<std::size_t>(c)];
+
+  std::vector<offset_t> cursor(t.row_ptr.begin(), t.row_ptr.end() - 1);
+  for (index_t i = 0; i < a.n_rows; ++i) {
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t c = a.col_idx[static_cast<std::size_t>(k)];
+      const offset_t dst = cursor[static_cast<std::size_t>(c)]++;
+      t.col_idx[static_cast<std::size_t>(dst)] = i;
+      t.val[static_cast<std::size_t>(dst)] = a.val[static_cast<std::size_t>(k)];
+    }
+  }
+  return t;
+}
+
+template <class T>
+bool is_symmetric(const Csr<T>& a) {
+  if (a.n_rows != a.n_cols) return false;
+  return structurally_equal(a, transpose(a));
+}
+
+template Csr<float> permute_csr(const Csr<float>&, const Permutation&,
+                                PermuteColumns);
+template Csr<double> permute_csr(const Csr<double>&, const Permutation&,
+                                 PermuteColumns);
+template Csr<float> transpose(const Csr<float>&);
+template Csr<double> transpose(const Csr<double>&);
+template bool is_symmetric(const Csr<float>&);
+template bool is_symmetric(const Csr<double>&);
+
+}  // namespace spmvm

@@ -1,0 +1,49 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spmvm {
+
+template <class T>
+Coo<T>::Coo(index_t n_rows, index_t n_cols)
+    : n_rows_(n_rows), n_cols_(n_cols) {
+  SPMVM_REQUIRE(n_rows >= 0 && n_cols >= 0, "matrix dimensions must be >= 0");
+}
+
+template <class T>
+void Coo<T>::add(index_t row, index_t col, T value) {
+  SPMVM_REQUIRE(row >= 0 && row < n_rows_, "row index out of range");
+  SPMVM_REQUIRE(col >= 0 && col < n_cols_, "column index out of range");
+  entries_.push_back({row, col, value});
+}
+
+template <class T>
+void Coo<T>::add_symmetric(index_t row, index_t col, T value) {
+  add(row, col, value);
+  if (row != col) add(col, row, value);
+}
+
+template <class T>
+void Coo<T>::sort_and_combine() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Triplet<T>& a, const Triplet<T>& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].row == entries_[i].row &&
+        entries_[out - 1].col == entries_[i].col) {
+      entries_[out - 1].val += entries_[i].val;
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+}
+
+template class Coo<float>;
+template class Coo<double>;
+
+}  // namespace spmvm

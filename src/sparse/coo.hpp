@@ -1,0 +1,52 @@
+// Coordinate-format matrix builder.
+//
+// COO is the assembly format: generators and the Matrix Market reader
+// accumulate (row, col, value) triplets here, then convert to CSR, which
+// is the canonical interchange format for everything downstream.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace spmvm {
+
+template <class T>
+struct Triplet {
+  index_t row;
+  index_t col;
+  T val;
+};
+
+template <class T>
+class Coo {
+ public:
+  Coo(index_t n_rows, index_t n_cols);
+
+  index_t n_rows() const { return n_rows_; }
+  index_t n_cols() const { return n_cols_; }
+  offset_t size() const { return static_cast<offset_t>(entries_.size()); }
+
+  /// Append one entry; duplicate (row, col) pairs are summed on conversion.
+  void add(index_t row, index_t col, T value);
+
+  /// Append value at (row, col) and, if off-diagonal, also at (col, row).
+  void add_symmetric(index_t row, index_t col, T value);
+
+  void reserve(offset_t n) { entries_.reserve(static_cast<std::size_t>(n)); }
+
+  const std::vector<Triplet<T>>& entries() const { return entries_; }
+
+  /// Sort by (row, col) and sum duplicates in place.
+  void sort_and_combine();
+
+ private:
+  index_t n_rows_;
+  index_t n_cols_;
+  std::vector<Triplet<T>> entries_;
+};
+
+extern template class Coo<float>;
+extern template class Coo<double>;
+
+}  // namespace spmvm

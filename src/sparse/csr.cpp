@@ -1,0 +1,105 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spmvm {
+
+template <class T>
+index_t Csr<T>::max_row_len() const {
+  index_t w = 0;
+  for (index_t i = 0; i < n_rows; ++i) w = std::max(w, row_len(i));
+  return w;
+}
+
+template <class T>
+index_t Csr<T>::min_row_len() const {
+  if (n_rows == 0) return 0;
+  index_t w = row_len(0);
+  for (index_t i = 1; i < n_rows; ++i) w = std::min(w, row_len(i));
+  return w;
+}
+
+template <class T>
+double Csr<T>::avg_row_len() const {
+  return n_rows == 0 ? 0.0
+                     : static_cast<double>(nnz()) / static_cast<double>(n_rows);
+}
+
+template <class T>
+std::size_t Csr<T>::bytes() const {
+  return val.size() * sizeof(T) + col_idx.size() * sizeof(index_t) +
+         row_ptr.size() * sizeof(offset_t);
+}
+
+template <class T>
+void Csr<T>::validate() const {
+  SPMVM_REQUIRE(row_ptr.size() == static_cast<std::size_t>(n_rows) + 1,
+                "row_ptr size mismatch");
+  SPMVM_REQUIRE(row_ptr.front() == 0, "row_ptr must start at 0");
+  for (index_t i = 0; i < n_rows; ++i) {
+    const offset_t b = row_ptr[static_cast<std::size_t>(i)];
+    const offset_t e = row_ptr[static_cast<std::size_t>(i) + 1];
+    SPMVM_REQUIRE(b <= e, "row_ptr must be non-decreasing");
+    for (offset_t k = b; k < e; ++k) {
+      const index_t c = col_idx[static_cast<std::size_t>(k)];
+      SPMVM_REQUIRE(c >= 0 && c < n_cols, "column index out of range");
+      if (k > b)
+        SPMVM_REQUIRE(col_idx[static_cast<std::size_t>(k) - 1] < c,
+                      "column indices must be strictly increasing per row");
+    }
+  }
+  SPMVM_REQUIRE(col_idx.size() == static_cast<std::size_t>(nnz()),
+                "col_idx size mismatch");
+  SPMVM_REQUIRE(val.size() == static_cast<std::size_t>(nnz()),
+                "val size mismatch");
+}
+
+template <class T>
+Csr<T> Csr<T>::from_coo(Coo<T> coo) {
+  coo.sort_and_combine();
+  Csr<T> m;
+  m.n_rows = coo.n_rows();
+  m.n_cols = coo.n_cols();
+  m.row_ptr.assign(static_cast<std::size_t>(m.n_rows) + 1, 0);
+  m.col_idx.reserve(coo.entries().size());
+  m.val.reserve(coo.entries().size());
+  for (const auto& e : coo.entries()) {
+    m.row_ptr[static_cast<std::size_t>(e.row) + 1]++;
+    m.col_idx.push_back(e.col);
+    m.val.push_back(e.val);
+  }
+  for (index_t i = 0; i < m.n_rows; ++i)
+    m.row_ptr[static_cast<std::size_t>(i) + 1] +=
+        m.row_ptr[static_cast<std::size_t>(i)];
+  return m;
+}
+
+template <class T>
+std::vector<T> Csr<T>::dense_row(index_t i) const {
+  SPMVM_REQUIRE(i >= 0 && i < n_rows, "row index out of range");
+  std::vector<T> out(static_cast<std::size_t>(n_cols), T{0});
+  for (offset_t k = row_ptr[static_cast<std::size_t>(i)];
+       k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+    out[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)])] =
+        val[static_cast<std::size_t>(k)];
+  return out;
+}
+
+template <class T>
+bool structurally_equal(const Csr<T>& a, const Csr<T>& b) {
+  return a.n_rows == b.n_rows && a.n_cols == b.n_cols &&
+         std::equal(a.row_ptr.begin(), a.row_ptr.end(), b.row_ptr.begin(),
+                    b.row_ptr.end()) &&
+         std::equal(a.col_idx.begin(), a.col_idx.end(), b.col_idx.begin(),
+                    b.col_idx.end()) &&
+         std::equal(a.val.begin(), a.val.end(), b.val.begin(), b.val.end());
+}
+
+template struct Csr<float>;
+template struct Csr<double>;
+template bool structurally_equal(const Csr<float>&, const Csr<float>&);
+template bool structurally_equal(const Csr<double>&, const Csr<double>&);
+
+}  // namespace spmvm

@@ -1,0 +1,60 @@
+// Compressed Row Storage (CRS/CSR) — the canonical host format.
+//
+// The paper's CPU baseline (Table I, last row) runs CRS on a Westmere
+// node; in this project CSR is additionally the interchange format from
+// which every GPU-oriented format (ELLPACK, ELLPACK-R, JDS, sliced-ELL,
+// pJDS) is constructed.
+#pragma once
+
+#include <span>
+
+#include "sparse/coo.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/types.hpp"
+
+namespace spmvm {
+
+template <class T>
+struct Csr {
+  index_t n_rows = 0;
+  index_t n_cols = 0;
+  AlignedVector<offset_t> row_ptr;  // size n_rows + 1
+  AlignedVector<index_t> col_idx;   // size nnz
+  AlignedVector<T> val;             // size nnz
+
+  offset_t nnz() const { return row_ptr.empty() ? 0 : row_ptr.back(); }
+  index_t row_len(index_t i) const {
+    return static_cast<index_t>(row_ptr[static_cast<std::size_t>(i) + 1] -
+                                row_ptr[static_cast<std::size_t>(i)]);
+  }
+  /// Longest row (N^max_nzr in the paper); 0 for an empty matrix.
+  index_t max_row_len() const;
+  /// Shortest row; 0 for an empty matrix.
+  index_t min_row_len() const;
+  /// Average non-zeros per row (N_nzr).
+  double avg_row_len() const;
+
+  /// Bytes of the CSR representation itself (values + indices + pointers).
+  std::size_t bytes() const;
+
+  /// Structural invariants: monotone row_ptr, in-range sorted column
+  /// indices. Throws spmvm::Error on violation.
+  void validate() const;
+
+  /// Build from (possibly unsorted, duplicated) COO entries.
+  static Csr from_coo(Coo<T> coo);
+
+  /// Dense row extraction for testing (size n_cols, zero-filled).
+  std::vector<T> dense_row(index_t i) const;
+};
+
+/// Deep equality of structure and values (exact compare; for tests).
+template <class T>
+bool structurally_equal(const Csr<T>& a, const Csr<T>& b);
+
+extern template struct Csr<float>;
+extern template struct Csr<double>;
+extern template bool structurally_equal(const Csr<float>&, const Csr<float>&);
+extern template bool structurally_equal(const Csr<double>&, const Csr<double>&);
+
+}  // namespace spmvm

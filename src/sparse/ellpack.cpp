@@ -1,0 +1,71 @@
+#include "sparse/ellpack.hpp"
+
+#include "util/error.hpp"
+
+namespace spmvm {
+
+template <class T>
+Ellpack<T> Ellpack<T>::from_csr(const Csr<T>& a, index_t row_chunk) {
+  SPMVM_REQUIRE(row_chunk >= 1, "row chunk must be >= 1");
+  Ellpack<T> e;
+  e.n_rows = a.n_rows;
+  e.n_cols = a.n_cols;
+  e.padded_rows =
+      ((a.n_rows + row_chunk - 1) / row_chunk) * row_chunk;
+  e.width = a.max_row_len();
+  e.nnz = a.nnz();
+  const std::size_t total = static_cast<std::size_t>(e.stored_entries());
+  e.val.assign(total, T{0});
+  e.col_idx.assign(total, index_t{0});
+  e.row_len.assign(static_cast<std::size_t>(e.padded_rows), index_t{0});
+  for (index_t i = 0; i < a.n_rows; ++i) {
+    const offset_t b = a.row_ptr[static_cast<std::size_t>(i)];
+    const offset_t len = a.row_ptr[static_cast<std::size_t>(i) + 1] - b;
+    e.row_len[static_cast<std::size_t>(i)] = static_cast<index_t>(len);
+    for (offset_t j = 0; j < len; ++j) {
+      const std::size_t dst = static_cast<std::size_t>(j) *
+                                  static_cast<std::size_t>(e.padded_rows) +
+                              static_cast<std::size_t>(i);
+      e.val[dst] = a.val[static_cast<std::size_t>(b + j)];
+      e.col_idx[dst] = a.col_idx[static_cast<std::size_t>(b + j)];
+    }
+  }
+  return e;
+}
+
+template <class T>
+std::size_t Ellpack<T>::bytes(bool with_row_len) const {
+  std::size_t b = val.size() * sizeof(T) + col_idx.size() * sizeof(index_t);
+  if (with_row_len) b += row_len.size() * sizeof(index_t);
+  return b;
+}
+
+template <class T>
+double Ellpack<T>::fill_fraction() const {
+  if (stored_entries() == 0) return 0.0;
+  return 1.0 -
+         static_cast<double>(nnz) / static_cast<double>(stored_entries());
+}
+
+template <class T>
+void Ellpack<T>::validate() const {
+  SPMVM_REQUIRE(padded_rows >= n_rows, "padded rows below logical rows");
+  SPMVM_REQUIRE(val.size() == static_cast<std::size_t>(stored_entries()),
+                "val size mismatch");
+  SPMVM_REQUIRE(col_idx.size() == val.size(), "col_idx size mismatch");
+  SPMVM_REQUIRE(row_len.size() == static_cast<std::size_t>(padded_rows),
+                "row_len size mismatch");
+  offset_t counted = 0;
+  for (index_t i = 0; i < padded_rows; ++i) {
+    const index_t len = row_len[static_cast<std::size_t>(i)];
+    SPMVM_REQUIRE(len >= 0 && len <= width, "row length exceeds width");
+    SPMVM_REQUIRE(i < n_rows || len == 0, "padding rows must be empty");
+    counted += len;
+  }
+  SPMVM_REQUIRE(counted == nnz, "nnz mismatch");
+}
+
+template struct Ellpack<float>;
+template struct Ellpack<double>;
+
+}  // namespace spmvm

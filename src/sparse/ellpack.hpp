@@ -1,0 +1,51 @@
+// ELLPACK / ELLPACK-R storage (Sec. II-A, Fig. 2a/b of the paper).
+//
+// Rows are compressed leftwards and the resulting N × N^max_nzr rectangle
+// is stored column-by-column, zero-padded. The same storage serves both
+// kernels: plain ELLPACK iterates the full width; ELLPACK-R additionally
+// keeps the per-row non-zero count (rowmax[]) so threads stop early.
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/types.hpp"
+
+namespace spmvm {
+
+template <class T>
+struct Ellpack {
+  index_t n_rows = 0;       // logical rows
+  index_t n_cols = 0;
+  index_t padded_rows = 0;  // n_rows rounded up to row_chunk (warp size)
+  index_t width = 0;        // N^max_nzr
+  offset_t nnz = 0;         // true non-zeros
+
+  // Column-major rectangle: entry (i, j) lives at j * padded_rows + i.
+  // Padding entries have val 0 and col_idx 0.
+  AlignedVector<T> val;
+  AlignedVector<index_t> col_idx;
+  // Per-row non-zero count; the paper's rowmax[] (ELLPACK-R only).
+  AlignedVector<index_t> row_len;
+
+  /// Build from CSR, padding the row count to a multiple of `row_chunk`
+  /// (the warp size; footnote 2 in the paper).
+  static Ellpack from_csr(const Csr<T>& a, index_t row_chunk = 32);
+
+  /// Stored entries including zero fill.
+  offset_t stored_entries() const {
+    return static_cast<offset_t>(width) * padded_rows;
+  }
+
+  /// Device bytes of val + col_idx (+ row_len when ELLPACK-R).
+  std::size_t bytes(bool with_row_len) const;
+
+  /// Fraction of stored entries that are zero fill.
+  double fill_fraction() const;
+
+  void validate() const;
+};
+
+extern template struct Ellpack<float>;
+extern template struct Ellpack<double>;
+
+}  // namespace spmvm

@@ -1,0 +1,43 @@
+// Matrix Market (.mtx) coordinate-format I/O.
+//
+// The paper's test matrices (HMEp, sAMG, DLR1/2, UHBR) are not publicly
+// distributed; this reader lets users of the library load their own
+// matrices, and the writer round-trips the synthetic stand-ins.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace spmvm {
+
+/// Read a coordinate-format Matrix Market stream. Supports `real`,
+/// `integer` and `pattern` fields (pattern entries become 1.0) and
+/// `general`, `symmetric` and `skew-symmetric` symmetry (mirrored entries
+/// are materialized). Throws spmvm::Error on malformed input.
+template <class T>
+Csr<T> read_matrix_market(std::istream& in);
+
+template <class T>
+Csr<T> read_matrix_market_file(const std::string& path);
+
+/// Write in `matrix coordinate real general` form.
+template <class T>
+void write_matrix_market(std::ostream& out, const Csr<T>& a);
+
+template <class T>
+void write_matrix_market_file(const std::string& path, const Csr<T>& a);
+
+extern template Csr<float> read_matrix_market(std::istream&);
+extern template Csr<double> read_matrix_market(std::istream&);
+extern template Csr<float> read_matrix_market_file(const std::string&);
+extern template Csr<double> read_matrix_market_file(const std::string&);
+extern template void write_matrix_market(std::ostream&, const Csr<float>&);
+extern template void write_matrix_market(std::ostream&, const Csr<double>&);
+extern template void write_matrix_market_file(const std::string&,
+                                              const Csr<float>&);
+extern template void write_matrix_market_file(const std::string&,
+                                              const Csr<double>&);
+
+}  // namespace spmvm

@@ -1,0 +1,56 @@
+#include "sparse/matrix_stats.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/ascii.hpp"
+
+namespace spmvm {
+
+template <class T>
+MatrixStats compute_stats(const Csr<T>& a) {
+  MatrixStats s;
+  s.n_rows = a.n_rows;
+  s.n_cols = a.n_cols;
+  s.nnz = a.nnz();
+  s.min_row_len = a.min_row_len();
+  s.max_row_len = a.max_row_len();
+  s.avg_row_len = a.avg_row_len();
+  s.relative_width =
+      s.min_row_len > 0 ? static_cast<double>(s.max_row_len) /
+                              static_cast<double>(s.min_row_len)
+                        : 0.0;
+
+  double var = 0.0;
+  double dist = 0.0;
+  for (index_t i = 0; i < a.n_rows; ++i) {
+    const index_t len = a.row_len(i);
+    s.row_len_histogram.add(len);
+    const double d = static_cast<double>(len) - s.avg_row_len;
+    var += d * d;
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      dist += std::abs(
+          static_cast<double>(a.col_idx[static_cast<std::size_t>(k)] - i));
+  }
+  if (a.n_rows > 1)
+    s.row_len_stddev = std::sqrt(var / static_cast<double>(a.n_rows - 1));
+  if (s.nnz > 0) s.mean_col_distance = dist / static_cast<double>(s.nnz);
+  return s;
+}
+
+std::string format_stats(const std::string& name, const MatrixStats& s) {
+  std::ostringstream os;
+  os << name << ": N = " << fmt_count(s.n_rows)
+     << ", Nnz = " << fmt_count(s.nnz) << ", Nnzr = " << fmt(s.avg_row_len, 1)
+     << " (min " << s.min_row_len << ", max " << s.max_row_len
+     << ", rel. width " << fmt(s.relative_width, 2) << ", sigma "
+     << fmt(s.row_len_stddev, 2) << ")";
+  return os.str();
+}
+
+template MatrixStats compute_stats(const Csr<float>&);
+template MatrixStats compute_stats(const Csr<double>&);
+
+}  // namespace spmvm

@@ -1,0 +1,34 @@
+// Structural statistics of a sparse matrix: the quantities Fig. 3 and the
+// sparsity-pattern discussion of the paper are based on.
+#pragma once
+
+#include <string>
+
+#include "sparse/csr.hpp"
+#include "util/histogram.hpp"
+
+namespace spmvm {
+
+struct MatrixStats {
+  index_t n_rows = 0;
+  index_t n_cols = 0;
+  offset_t nnz = 0;
+  index_t min_row_len = 0;
+  index_t max_row_len = 0;
+  double avg_row_len = 0.0;     // N_nzr
+  double relative_width = 0.0;  // max(rowlen)/min(rowlen); inf-safe: 0 if min==0
+  double row_len_stddev = 0.0;
+  Histogram row_len_histogram;  // bin size 1 (Fig. 3)
+  double mean_col_distance = 0.0;  // avg |col - row| — RHS locality proxy
+};
+
+template <class T>
+MatrixStats compute_stats(const Csr<T>& a);
+
+/// Multi-line human-readable rendering used by examples and benches.
+std::string format_stats(const std::string& name, const MatrixStats& s);
+
+extern template MatrixStats compute_stats(const Csr<float>&);
+extern template MatrixStats compute_stats(const Csr<double>&);
+
+}  // namespace spmvm

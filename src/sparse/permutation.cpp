@@ -1,0 +1,74 @@
+#include "sparse/permutation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace spmvm {
+
+Permutation Permutation::identity(index_t n) {
+  SPMVM_REQUIRE(n >= 0, "permutation size must be >= 0");
+  Permutation p;
+  p.new_to_old_.resize(static_cast<std::size_t>(n));
+  std::iota(p.new_to_old_.begin(), p.new_to_old_.end(), index_t{0});
+  p.rebuild_inverse();
+  return p;
+}
+
+Permutation Permutation::sort_descending(std::span<const index_t> keys,
+                                         index_t window) {
+  SPMVM_REQUIRE(window >= 1, "sort window must be >= 1");
+  Permutation p = identity(static_cast<index_t>(keys.size()));
+  auto& order = p.new_to_old_;
+  const std::size_t n = order.size();
+  const std::size_t w = static_cast<std::size_t>(window);
+  for (std::size_t begin = 0; begin < n; begin += w) {
+    const std::size_t end = std::min(begin + w, n);
+    std::stable_sort(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                     order.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&keys](index_t a, index_t b) {
+                       return keys[static_cast<std::size_t>(a)] >
+                              keys[static_cast<std::size_t>(b)];
+                     });
+  }
+  p.rebuild_inverse();
+  return p;
+}
+
+Permutation Permutation::from_new_to_old(std::vector<index_t> new_to_old) {
+  Permutation p;
+  p.new_to_old_ = std::move(new_to_old);
+  p.rebuild_inverse();  // also validates bijectivity
+  return p;
+}
+
+bool Permutation::is_identity() const {
+  for (index_t r = 0; r < size(); ++r)
+    if (old_of(r) != r) return false;
+  return true;
+}
+
+void Permutation::rebuild_inverse() {
+  const auto n = new_to_old_.size();
+  old_to_new_.assign(n, index_t{-1});
+  for (std::size_t r = 0; r < n; ++r) {
+    const index_t o = new_to_old_[r];
+    SPMVM_REQUIRE(o >= 0 && static_cast<std::size_t>(o) < n,
+                  "permutation entry out of range");
+    SPMVM_REQUIRE(old_to_new_[static_cast<std::size_t>(o)] == -1,
+                  "permutation entry duplicated");
+    old_to_new_[static_cast<std::size_t>(o)] = static_cast<index_t>(r);
+  }
+}
+
+template void Permutation::to_permuted<float>(std::span<const float>,
+                                              std::span<float>) const;
+template void Permutation::to_permuted<double>(std::span<const double>,
+                                               std::span<double>) const;
+template void Permutation::from_permuted<float>(std::span<const float>,
+                                                std::span<float>) const;
+template void Permutation::from_permuted<double>(std::span<const double>,
+                                                 std::span<double>) const;
+
+}  // namespace spmvm

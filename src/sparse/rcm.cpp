@@ -1,0 +1,105 @@
+#include "sparse/rcm.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "sparse/convert.hpp"
+#include "util/error.hpp"
+
+namespace spmvm {
+
+namespace {
+
+/// Symmetrized adjacency (pattern of A + Aᵀ, self-loops removed).
+template <class T>
+std::vector<std::vector<index_t>> build_adjacency(const Csr<T>& a) {
+  std::vector<std::vector<index_t>> adj(static_cast<std::size_t>(a.n_rows));
+  const auto add_edges = [&](const Csr<T>& m) {
+    for (index_t i = 0; i < m.n_rows; ++i)
+      for (offset_t k = m.row_ptr[static_cast<std::size_t>(i)];
+           k < m.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        const index_t c = m.col_idx[static_cast<std::size_t>(k)];
+        if (c != i) adj[static_cast<std::size_t>(i)].push_back(c);
+      }
+  };
+  add_edges(a);
+  add_edges(transpose(a));
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return adj;
+}
+
+}  // namespace
+
+template <class T>
+Permutation reverse_cuthill_mckee(const Csr<T>& a) {
+  SPMVM_REQUIRE(a.n_rows == a.n_cols, "RCM needs a square matrix");
+  const auto adj = build_adjacency(a);
+  const auto n = static_cast<std::size_t>(a.n_rows);
+
+  std::vector<index_t> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<index_t> degree(n);
+  for (std::size_t i = 0; i < n; ++i)
+    degree[i] = static_cast<index_t>(adj[i].size());
+
+  // Process every connected component, starting each BFS at a
+  // minimum-degree unvisited vertex (a cheap peripheral-node heuristic).
+  for (;;) {
+    index_t start = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (visited[i]) continue;
+      if (start < 0 || degree[i] < degree[static_cast<std::size_t>(start)])
+        start = static_cast<index_t>(i);
+    }
+    if (start < 0) break;
+
+    std::queue<index_t> frontier;
+    frontier.push(start);
+    visited[static_cast<std::size_t>(start)] = true;
+    std::vector<index_t> neighbors;
+    while (!frontier.empty()) {
+      const index_t v = frontier.front();
+      frontier.pop();
+      order.push_back(v);
+      neighbors.clear();
+      for (const index_t w : adj[static_cast<std::size_t>(v)])
+        if (!visited[static_cast<std::size_t>(w)]) neighbors.push_back(w);
+      std::sort(neighbors.begin(), neighbors.end(),
+                [&](index_t x, index_t y) {
+                  return degree[static_cast<std::size_t>(x)] <
+                         degree[static_cast<std::size_t>(y)];
+                });
+      for (const index_t w : neighbors) {
+        visited[static_cast<std::size_t>(w)] = true;
+        frontier.push(w);
+      }
+    }
+  }
+  // "Reverse" Cuthill-McKee.
+  std::reverse(order.begin(), order.end());
+  return Permutation::from_new_to_old(std::move(order));
+}
+
+template <class T>
+index_t bandwidth(const Csr<T>& a) {
+  index_t bw = 0;
+  for (index_t i = 0; i < a.n_rows; ++i)
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t d = a.col_idx[static_cast<std::size_t>(k)] - i;
+      bw = std::max(bw, d < 0 ? -d : d);
+    }
+  return bw;
+}
+
+template Permutation reverse_cuthill_mckee(const Csr<float>&);
+template Permutation reverse_cuthill_mckee(const Csr<double>&);
+template index_t bandwidth(const Csr<float>&);
+template index_t bandwidth(const Csr<double>&);
+
+}  // namespace spmvm

@@ -1,0 +1,55 @@
+// Sliced ELLPACK (Monakov et al. [12]) with an optional sorting window —
+// the related-work comparator the paper's outlook discusses, and with
+// sort_window > 1 the SELL-C-σ format that pJDS evolved into.
+//
+// The matrix is cut into slices of `slice_height` rows; each slice is
+// padded to its own maximum row length and stored column-major. Rows may
+// be pre-sorted by descending length within windows of `sort_window` rows
+// (σ): σ = 1 keeps the original order, σ >= N is a full sort.
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "sparse/permutation.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace spmvm {
+
+template <class T>
+struct SlicedEll {
+  index_t n_rows = 0;
+  index_t n_cols = 0;
+  index_t slice_height = 0;  // C
+  index_t sort_window = 1;   // σ
+  index_t n_slices = 0;
+  index_t padded_rows = 0;  // n_slices * slice_height
+  offset_t nnz = 0;
+  Permutation perm;  // row order (identity when σ == 1)
+
+  AlignedVector<offset_t> slice_ptr;  // n_slices + 1; element offsets
+  AlignedVector<index_t> row_len;     // padded_rows
+  AlignedVector<index_t> col_idx;     // slice_ptr.back()
+  AlignedVector<T> val;               // slice_ptr.back()
+
+  static SlicedEll from_csr(const Csr<T>& a, index_t slice_height = 32,
+                            index_t sort_window = 1,
+                            PermuteColumns permute_columns = PermuteColumns::no);
+
+  index_t slice_width(index_t s) const {
+    return static_cast<index_t>(
+        (slice_ptr[static_cast<std::size_t>(s) + 1] -
+         slice_ptr[static_cast<std::size_t>(s)]) /
+        slice_height);
+  }
+
+  /// Stored entries including padding.
+  offset_t stored_entries() const { return slice_ptr.back(); }
+
+  std::size_t bytes() const;
+  double fill_fraction() const;
+  void validate() const;
+};
+
+extern template struct SlicedEll<float>;
+extern template struct SlicedEll<double>;
+
+}  // namespace spmvm

@@ -1,0 +1,153 @@
+#include "sparse/spmv_host.hpp"
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace spmvm {
+
+namespace {
+template <class T>
+void check_shapes(index_t n_rows, index_t n_cols, std::span<const T> x,
+                  std::span<T> y) {
+  SPMVM_REQUIRE(x.size() >= static_cast<std::size_t>(n_cols),
+                "input vector too short");
+  SPMVM_REQUIRE(y.size() >= static_cast<std::size_t>(n_rows),
+                "output vector too short");
+}
+}  // namespace
+
+template <class T>
+void spmv(const Csr<T>& a, std::span<const T> x, std::span<T> y,
+          int n_threads) {
+  check_shapes(a.n_rows, a.n_cols, x, y);
+  parallel_for(static_cast<std::size_t>(a.n_rows), n_threads,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   T acc{0};
+                   for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k)
+                     acc += a.val[static_cast<std::size_t>(k)] *
+                            x[static_cast<std::size_t>(
+                                a.col_idx[static_cast<std::size_t>(k)])];
+                   y[i] = acc;
+                 }
+               });
+}
+
+template <class T>
+void spmv_axpby(const Csr<T>& a, std::span<const T> x, std::span<T> y,
+                T alpha, T beta, int n_threads) {
+  check_shapes(a.n_rows, a.n_cols, x, y);
+  parallel_for(static_cast<std::size_t>(a.n_rows), n_threads,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   T acc{0};
+                   for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k)
+                     acc += a.val[static_cast<std::size_t>(k)] *
+                            x[static_cast<std::size_t>(
+                                a.col_idx[static_cast<std::size_t>(k)])];
+                   y[i] = beta * y[i] + alpha * acc;
+                 }
+               });
+}
+
+template <class T>
+void spmv_ellpack(const Ellpack<T>& a, std::span<const T> x, std::span<T> y,
+                  int n_threads) {
+  check_shapes(a.n_rows, a.n_cols, x, y);
+  const auto rows = static_cast<std::size_t>(a.padded_rows);
+  parallel_for(static_cast<std::size_t>(a.n_rows), n_threads,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   T acc{0};
+                   // Plain ELLPACK: iterate the full width, fill included.
+                   for (index_t j = 0; j < a.width; ++j) {
+                     const std::size_t k =
+                         static_cast<std::size_t>(j) * rows + i;
+                     acc += a.val[k] *
+                            x[static_cast<std::size_t>(a.col_idx[k])];
+                   }
+                   y[i] = acc;
+                 }
+               });
+}
+
+template <class T>
+void spmv_ellpack_r(const Ellpack<T>& a, std::span<const T> x, std::span<T> y,
+                    int n_threads) {
+  check_shapes(a.n_rows, a.n_cols, x, y);
+  const auto rows = static_cast<std::size_t>(a.padded_rows);
+  parallel_for(static_cast<std::size_t>(a.n_rows), n_threads,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   T acc{0};
+                   const index_t len = a.row_len[i];
+                   for (index_t j = 0; j < len; ++j) {
+                     const std::size_t k =
+                         static_cast<std::size_t>(j) * rows + i;
+                     acc += a.val[k] *
+                            x[static_cast<std::size_t>(a.col_idx[k])];
+                   }
+                   y[i] = acc;
+                 }
+               });
+}
+
+template <class T>
+void spmv(const Jds<T>& a, std::span<const T> x, std::span<T> y) {
+  check_shapes(a.n_rows, a.n_cols, x, y);
+  for (index_t i = 0; i < a.n_rows; ++i) y[static_cast<std::size_t>(i)] = T{0};
+  // Diagonal-major loop order: long inner loops over consecutive rows,
+  // the traversal JDS was designed for on vector machines.
+  for (index_t j = 0; j < a.width; ++j) {
+    const offset_t base = a.jd_ptr[static_cast<std::size_t>(j)];
+    const index_t L = a.diag_len(j);
+    for (index_t i = 0; i < L; ++i) {
+      const std::size_t k = static_cast<std::size_t>(base + i);
+      y[static_cast<std::size_t>(i)] +=
+          a.val[k] * x[static_cast<std::size_t>(a.col_idx[k])];
+    }
+  }
+}
+
+template <class T>
+void spmv(const SlicedEll<T>& a, std::span<const T> x, std::span<T> y,
+          int n_threads) {
+  check_shapes(a.n_rows, a.n_cols, x, y);
+  parallel_for(
+      static_cast<std::size_t>(a.n_slices), n_threads,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          const offset_t base = a.slice_ptr[s];
+          for (index_t r = 0; r < a.slice_height; ++r) {
+            const index_t i =
+                static_cast<index_t>(s) * a.slice_height + r;
+            if (i >= a.n_rows) break;
+            T acc{0};
+            const index_t len = a.row_len[static_cast<std::size_t>(i)];
+            for (index_t j = 0; j < len; ++j) {
+              const std::size_t k = static_cast<std::size_t>(
+                  base + static_cast<offset_t>(j) * a.slice_height + r);
+              acc += a.val[k] * x[static_cast<std::size_t>(a.col_idx[k])];
+            }
+            y[static_cast<std::size_t>(i)] = acc;
+          }
+        }
+      });
+}
+
+#define SPMVM_INSTANTIATE_HOST_KERNELS(T)                                   \
+  template void spmv(const Csr<T>&, std::span<const T>, std::span<T>, int); \
+  template void spmv_axpby(const Csr<T>&, std::span<const T>, std::span<T>, \
+                           T, T, int);                                      \
+  template void spmv_ellpack(const Ellpack<T>&, std::span<const T>,         \
+                             std::span<T>, int);                            \
+  template void spmv_ellpack_r(const Ellpack<T>&, std::span<const T>,       \
+                               std::span<T>, int);                          \
+  template void spmv(const Jds<T>&, std::span<const T>, std::span<T>);      \
+  template void spmv(const SlicedEll<T>&, std::span<const T>, std::span<T>, \
+                     int)
+
+SPMVM_INSTANTIATE_HOST_KERNELS(float);
+SPMVM_INSTANTIATE_HOST_KERNELS(double);
+
+}  // namespace spmvm

@@ -1,0 +1,56 @@
+// Cache-line / SIMD aligned storage for matrix and vector data.
+//
+// GPU device arrays must be 128-byte aligned for full-width memory
+// transactions; host kernels benefit from 64-byte alignment. All bulk
+// numeric storage in this project goes through AlignedVector.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace spmvm {
+
+inline constexpr std::size_t kDeviceAlignment = 128;  // one GPU transaction
+
+/// Minimal C++17 aligned allocator (std::aligned_alloc based).
+template <class T, std::size_t Align = kDeviceAlignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr std::align_val_t alignment{Align};
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_array_new_length();
+    return static_cast<T*>(::operator new(n * sizeof(T), alignment));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, alignment);
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const AlignedAllocator<U, Align>&) const noexcept {
+    return false;
+  }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+};
+
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace spmvm

@@ -1,0 +1,143 @@
+#include "util/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spmvm {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SPMVM_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  SPMVM_REQUIRE(cells.size() == header_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit_row = [&](std::ostringstream& os,
+                      const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      const std::size_t pad = width[c] - row[c].size();
+      if (c == 0) {
+        os << row[c] << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << row[c];
+      }
+    }
+    os << " |\n";
+  };
+
+  std::ostringstream os;
+  emit_row(os, header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit_row(os, row);
+  return os.str();
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_count(long long value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  int group = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (group == 3) {
+      out.push_back(',');
+      group = 0;
+    }
+    out.push_back(*it);
+    ++group;
+  }
+  if (value < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string ascii_chart(const std::string& title, const std::vector<double>& x,
+                        const std::vector<std::vector<double>>& series,
+                        const std::vector<std::string>& series_names,
+                        bool log_y, int height, int width) {
+  SPMVM_REQUIRE(series.size() == series_names.size(),
+                "one name per series required");
+  SPMVM_REQUIRE(height >= 4 && width >= 16, "chart too small");
+  for (const auto& s : series)
+    SPMVM_REQUIRE(s.size() == x.size(), "series length must match x length");
+
+  const char marks[] = {'*', 'o', '+', 'x', '#', '@'};
+  auto transform = [&](double v) {
+    if (!log_y) return v;
+    return v > 0 ? std::log10(v) : -12.0;
+  };
+
+  double lo = 1e300, hi = -1e300;
+  for (const auto& s : series)
+    for (double v : s) {
+      const double t = transform(v);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+  if (x.empty() || series.empty()) {
+    return title + "\n  (no data)\n";
+  }
+  if (hi <= lo) hi = lo + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  const double xmin = *std::min_element(x.begin(), x.end());
+  const double xmax = *std::max_element(x.begin(), x.end());
+  const double xspan = (xmax > xmin) ? (xmax - xmin) : 1.0;
+
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const int col = static_cast<int>((x[i] - xmin) / xspan * (width - 1));
+      const double t = transform(series[s][i]);
+      const int row =
+          height - 1 - static_cast<int>((t - lo) / (hi - lo) * (height - 1));
+      grid[static_cast<std::size_t>(std::clamp(row, 0, height - 1))]
+          [static_cast<std::size_t>(std::clamp(col, 0, width - 1))] =
+              marks[s % sizeof(marks)];
+    }
+  }
+
+  std::ostringstream os;
+  os << title << "\n";
+  for (int r = 0; r < height; ++r) {
+    const double yv = hi - (hi - lo) * r / (height - 1);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%9.3g |", log_y ? std::pow(10, yv) : yv);
+    os << label << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << std::string(10, ' ') << '+' << std::string(static_cast<std::size_t>(width), '-')
+     << "\n";
+  char xlabel[64];
+  std::snprintf(xlabel, sizeof(xlabel), "%10.3g", xmin);
+  os << xlabel << std::string(static_cast<std::size_t>(std::max(0, width - 10)), ' ');
+  std::snprintf(xlabel, sizeof(xlabel), "%.3g", xmax);
+  os << xlabel << "\n";
+  for (std::size_t s = 0; s < series_names.size(); ++s)
+    os << "  " << marks[s % sizeof(marks)] << " = " << series_names[s] << "\n";
+  return os.str();
+}
+
+}  // namespace spmvm

@@ -1,0 +1,41 @@
+// Plain-text rendering of tables and simple charts so every benchmark
+// binary can print paper-style artifacts (Table I rows, Fig. 3 histograms,
+// Fig. 5 scaling series) to a terminal or log file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spmvm {
+
+/// A rectangular text table with a header row; columns are right-aligned
+/// except the first, which is left-aligned (row labels).
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column separators and a header rule.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render one y(x) series as a fixed-height ASCII line chart.
+/// `log_y` plots log10(y) (zero/negative values clamp to the axis floor).
+std::string ascii_chart(const std::string& title,
+                        const std::vector<double>& x,
+                        const std::vector<std::vector<double>>& series,
+                        const std::vector<std::string>& series_names,
+                        bool log_y = false, int height = 16, int width = 64);
+
+/// Format a double with fixed precision (helper for table cells).
+std::string fmt(double value, int precision = 1);
+
+/// Format an integer with thousands separators for readability.
+std::string fmt_count(long long value);
+
+}  // namespace spmvm

@@ -1,0 +1,34 @@
+// Error handling: invariant checks that throw std::runtime_error with
+// a formatted location-tagged message. Used at module boundaries; hot
+// kernels use assert() only.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spmvm {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace spmvm
+
+/// Check a precondition/invariant; throws spmvm::Error when violated.
+#define SPMVM_REQUIRE(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::spmvm::detail::throw_error(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

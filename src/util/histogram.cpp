@@ -1,0 +1,61 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spmvm {
+
+Histogram Histogram::from_values(std::span<const index_t> values) {
+  Histogram h;
+  for (index_t v : values) h.add(v);
+  return h;
+}
+
+void Histogram::add(index_t value, std::uint64_t count) {
+  SPMVM_REQUIRE(value >= 0, "histogram values must be non-negative");
+  const auto idx = static_cast<std::size_t>(value);
+  if (idx >= bins_.size()) bins_.resize(idx + 1, 0);
+  bins_[idx] += count;
+  total_ += count;
+}
+
+std::uint64_t Histogram::count(index_t value) const {
+  const auto idx = static_cast<std::size_t>(value);
+  return (value >= 0 && idx < bins_.size()) ? bins_[idx] : 0;
+}
+
+double Histogram::relative_share(index_t value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+index_t Histogram::min_value() const {
+  for (std::size_t i = 0; i < bins_.size(); ++i)
+    if (bins_[i] > 0) return static_cast<index_t>(i);
+  return 0;
+}
+
+index_t Histogram::max_value() const {
+  for (std::size_t i = bins_.size(); i-- > 0;)
+    if (bins_[i] > 0) return static_cast<index_t>(i);
+  return 0;
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i)
+    acc += static_cast<double>(i) * static_cast<double>(bins_[i]);
+  return acc / static_cast<double>(total_);
+}
+
+double Histogram::share_at_least(index_t threshold) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = 0;
+  const auto start = static_cast<std::size_t>(std::max<index_t>(threshold, 0));
+  for (std::size_t i = start; i < bins_.size(); ++i) acc += bins_[i];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+}  // namespace spmvm

@@ -1,0 +1,52 @@
+// Integer-valued histograms (bin size 1), as used for the row-length
+// distributions in Fig. 3 of the paper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace spmvm {
+
+/// Histogram over non-negative integer values with bin size 1.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Build directly from a sample of values.
+  static Histogram from_values(std::span<const index_t> values);
+
+  void add(index_t value, std::uint64_t count = 1);
+
+  /// Number of samples recorded so far.
+  std::uint64_t total() const { return total_; }
+
+  /// Count in bin `value` (0 if beyond the populated range).
+  std::uint64_t count(index_t value) const;
+
+  /// Fraction of samples equal to `value` (Fig. 3's "relative share").
+  double relative_share(index_t value) const;
+
+  /// Smallest / largest populated value; 0 if empty.
+  index_t min_value() const;
+  index_t max_value() const;
+
+  /// Mean of the recorded values.
+  double mean() const;
+
+  /// Fraction of samples with value >= threshold.
+  double share_at_least(index_t threshold) const;
+
+  /// Per-bin counts, index == value.
+  const std::vector<std::uint64_t>& bins() const { return bins_; }
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace spmvm

@@ -1,0 +1,44 @@
+// Minimal fork-join parallel_for over index ranges (std::thread based).
+//
+// Host spMVM kernels accept an optional thread count; on a single-core
+// machine this degrades gracefully to the serial path (n_threads <= 1).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace spmvm {
+
+/// Invoke fn(begin, end) on static contiguous chunks of [0, n) across
+/// `n_threads` threads. fn must be safe to run concurrently on disjoint
+/// ranges. n_threads <= 1 runs inline with no thread creation.
+template <class Fn>
+void parallel_for(std::size_t n, int n_threads, Fn&& fn) {
+  if (n == 0) return;
+  if (n_threads <= 1 || n < 2) {
+    fn(std::size_t{0}, n);
+    return;
+  }
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(n_threads), n);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    if (begin >= end) break;
+    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& t : pool) t.join();
+}
+
+/// Hardware concurrency with a sane floor of 1.
+inline int hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+}  // namespace spmvm

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every synthetic matrix generator and every randomized test draws from
+// this generator so results are reproducible across runs and platforms
+// (std::mt19937 distributions are not implementation-stable; ours are).
+#pragma once
+
+#include <cstdint>
+
+namespace spmvm {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initialize the state from a single seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased reduction.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Standard normal variate (Box-Muller, one value per call).
+  double normal();
+
+  /// Geometric-like heavy tail: floor of an exponential with given mean.
+  std::uint64_t exponential_int(double mean);
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace spmvm

@@ -1,0 +1,75 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace spmvm {
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  SPMVM_REQUIRE(q >= 0.0 && q <= 1.0, "percentile fraction out of range");
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean_of(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : sample) acc += v;
+  return acc / static_cast<double>(sample.size());
+}
+
+double stddev_of(std::span<const double> sample) {
+  if (sample.size() < 2) return 0.0;
+  const double m = mean_of(sample);
+  double acc = 0.0;
+  for (double v : sample) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(sample.size() - 1));
+}
+
+double geomean_of(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : sample) {
+    SPMVM_REQUIRE(v > 0.0, "geomean requires positive values");
+    acc += std::log(v);
+  }
+  return std::exp(acc / static_cast<double>(sample.size()));
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = mean_of(sample);
+  s.stddev = stddev_of(sample);
+  s.p50 = percentile_sorted(sorted, 0.50);
+  s.p90 = percentile_sorted(sorted, 0.90);
+  s.p99 = percentile_sorted(sorted, 0.99);
+  return s;
+}
+
+double linear_slope(std::span<const double> x, std::span<const double> y) {
+  SPMVM_REQUIRE(x.size() == y.size() && x.size() >= 2,
+                "slope needs matched samples of size >= 2");
+  const double mx = mean_of(x);
+  const double my = mean_of(y);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    den += (x[i] - mx) * (x[i] - mx);
+  }
+  SPMVM_REQUIRE(den > 0.0, "slope undefined for constant x");
+  return num / den;
+}
+
+}  // namespace spmvm

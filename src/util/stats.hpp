@@ -1,0 +1,40 @@
+// Descriptive statistics used by matrix analysis and benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace spmvm {
+
+/// Summary of a sample: min/max/mean/stddev and selected percentiles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Compute a Summary over the sample (copies + sorts internally).
+Summary summarize(std::span<const double> sample);
+
+/// Percentile by linear interpolation over a *sorted* sample; q in [0,1].
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Arithmetic mean; 0 for an empty span.
+double mean_of(std::span<const double> sample);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev_of(std::span<const double> sample);
+
+/// Geometric mean; requires strictly positive entries.
+double geomean_of(std::span<const double> sample);
+
+/// Simple least-squares slope of y over x (for scaling-trend checks).
+double linear_slope(std::span<const double> x, std::span<const double> y);
+
+}  // namespace spmvm

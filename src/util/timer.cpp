@@ -1,0 +1,18 @@
+#include "util/timer.hpp"
+
+namespace spmvm {
+
+double measure_seconds(double min_seconds, int min_reps, void (*fn)(void*),
+                       void* ctx) {
+  // Warm-up run (touch caches, fault pages).
+  fn(ctx);
+  int reps = 0;
+  Timer t;
+  do {
+    fn(ctx);
+    ++reps;
+  } while (t.seconds() < min_seconds || reps < min_reps);
+  return t.seconds() / reps;
+}
+
+}  // namespace spmvm

@@ -1,0 +1,39 @@
+// Wall-clock timing helpers for benchmarks and the host kernels.
+#pragma once
+
+#include <chrono>
+
+namespace spmvm {
+
+/// Monotonic stopwatch measuring seconds as double.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Run `fn` repeatedly for at least `min_seconds` (and at least `min_reps`
+/// repetitions) and return the average seconds per invocation.
+double measure_seconds(double min_seconds, int min_reps, void (*fn)(void*),
+                       void* ctx);
+
+template <class F>
+double measure_seconds(double min_seconds, int min_reps, F&& fn) {
+  struct Ctx {
+    F* f;
+  } ctx{&fn};
+  return measure_seconds(min_seconds, min_reps,
+                         [](void* c) { (*static_cast<Ctx*>(c)->f)(); }, &ctx);
+}
+
+}  // namespace spmvm

@@ -1,0 +1,18 @@
+// Fundamental scalar and index types shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spmvm {
+
+/// Column/row index type. The paper's balance model (Eq. 1) assumes 4-byte
+/// column indices, so the default index is 32-bit. Row-pointer offsets use
+/// 64 bits because nnz may exceed 2^31 for full-scale matrices.
+using index_t = std::int32_t;
+using offset_t = std::int64_t;
+
+/// Number of bytes in one index entry (the "4" in Eq. 1).
+inline constexpr std::size_t kIndexBytes = sizeof(index_t);
+
+}  // namespace spmvm

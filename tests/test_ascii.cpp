@@ -1,0 +1,83 @@
+#include "util/ascii.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spmvm {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"matrix", "GF/s"});
+  t.add_row({"DLR1", "22.1"});
+  t.add_row({"sAMG", "14.6"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("matrix"), std::string::npos);
+  EXPECT_NE(out.find("DLR1"), std::string::npos);
+  EXPECT_NE(out.find("22.1"), std::string::npos);
+  // Header + rule + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(AsciiTable, RejectsMismatchedRow) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable t({"x", "yyyy"});
+  t.add_row({"longlabel", "1"});
+  const std::string out = t.render();
+  // Both data lines must have the same length as the header line.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const auto nl = out.find('\n', pos);
+    lines.push_back(out.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0].size(), lines[2].size());
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(FmtCount, ThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(6201600), "6,201,600");
+  EXPECT_EQ(fmt_count(-12345), "-12,345");
+}
+
+TEST(AsciiChart, ContainsSeriesMarkers) {
+  const std::vector<double> x = {1, 2, 4, 8};
+  const std::vector<std::vector<double>> series = {{1, 2, 4, 8}, {1, 1.5, 2, 3}};
+  const std::string out =
+      ascii_chart("scaling", x, series, {"ideal", "actual"});
+  EXPECT_NE(out.find("scaling"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("ideal"), std::string::npos);
+}
+
+TEST(AsciiChart, LogScaleHandlesZeros) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<std::vector<double>> series = {{0.0, 1e-3, 1.0}};
+  const std::string out = ascii_chart("hist", x, series, {"share"}, true);
+  EXPECT_NE(out.find("hist"), std::string::npos);
+}
+
+TEST(AsciiChart, RejectsMismatchedNames) {
+  const std::vector<double> x = {1};
+  const std::vector<std::vector<double>> series = {{1}};
+  EXPECT_THROW(ascii_chart("t", x, series, {}), Error);
+}
+
+}  // namespace
+}  // namespace spmvm

@@ -1,0 +1,119 @@
+#include "solver/bicgstab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "matgen/generators.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/spmv_host.hpp"
+#include "test_helpers.hpp"
+
+namespace spmvm::solver {
+namespace {
+
+using spmvm::testing::random_vector;
+
+/// Nonsymmetric but diagonally dominant matrix (BiCGSTAB-friendly).
+Csr<double> nonsymmetric_matrix(index_t n, std::uint64_t seed) {
+  auto a = spmvm::testing::random_csr<double>(n, n, 2, 8, seed);
+  // Boost the diagonal well above the off-diagonal row sums.
+  Coo<double> coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 12.0);
+    for (offset_t k = a.row_ptr[static_cast<std::size_t>(i)];
+         k < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t c = a.col_idx[static_cast<std::size_t>(k)];
+      if (c != i) coo.add(i, c, a.val[static_cast<std::size_t>(k)]);
+    }
+  }
+  return Csr<double>::from_coo(std::move(coo));
+}
+
+TEST(Bicgstab, SolvesNonsymmetricSystem) {
+  const auto csr = nonsymmetric_matrix(200, 1);
+  EXPECT_FALSE(is_symmetric(csr));
+  const auto a = std::make_shared<const Csr<double>>(csr);
+  const auto op = make_operator<double>(a);
+  const auto x_true = random_vector<double>(200, 2);
+  std::vector<double> b(200);
+  op.apply(std::span<const double>(x_true), std::span<double>(b));
+
+  std::vector<double> x(200, 0.0);
+  const auto r = bicgstab(op, std::span<const double>(b),
+                          std::span<double>(x), 1e-12, 500);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.breakdown);
+  spmvm::testing::expect_vectors_near<double>(x_true, x, 1e-7);
+}
+
+TEST(Bicgstab, SolvesSpdSystemToo) {
+  const auto a = std::make_shared<const Csr<double>>(
+      make_poisson2d<double>(15, 15));
+  const auto op = make_operator<double>(a);
+  const auto b = random_vector<double>(a->n_rows, 3);
+  std::vector<double> x(b.size(), 0.0);
+  const auto r = bicgstab(op, std::span<const double>(b),
+                          std::span<double>(x), 1e-11, 2000);
+  EXPECT_TRUE(r.converged);
+  std::vector<double> ax(b.size());
+  op.apply(std::span<const double>(x), std::span<double>(ax));
+  spmvm::testing::expect_vectors_near<double>(b, ax, 1e-7);
+}
+
+TEST(Bicgstab, ZeroRhsImmediate) {
+  const auto a = std::make_shared<const Csr<double>>(
+      make_poisson2d<double>(6, 6));
+  std::vector<double> b(36, 0.0), x(36, 0.0);
+  const auto r = bicgstab(make_operator<double>(a),
+                          std::span<const double>(b), std::span<double>(x));
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Bicgstab, PjdsVariantMatchesCsr) {
+  // DLR1-like nonsymmetric system through the permuted pJDS basis.
+  GenConfig cfg;
+  cfg.scale = 512;
+  auto base = make_dlr1<double>(cfg);
+  // Strengthen the diagonal so BiCGSTAB converges without preconditioning.
+  for (index_t i = 0; i < base.n_rows; ++i)
+    for (offset_t k = base.row_ptr[static_cast<std::size_t>(i)];
+         k < base.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      if (base.col_idx[static_cast<std::size_t>(k)] == i)
+        base.val[static_cast<std::size_t>(k)] =
+            static_cast<double>(base.row_len(i)) + 1.0;
+
+  const auto b = random_vector<double>(base.n_rows, 5);
+  std::vector<double> x_csr(b.size(), 0.0), x_pjds(b.size(), 0.0);
+
+  const auto shared = std::make_shared<const Csr<double>>(base);
+  const auto rc = bicgstab(make_operator<double>(shared),
+                           std::span<const double>(b),
+                           std::span<double>(x_csr), 1e-11, 2000);
+  const auto rp = bicgstab_pjds(base, std::span<const double>(b),
+                                std::span<double>(x_pjds), 1e-11, 2000);
+  EXPECT_TRUE(rc.converged);
+  EXPECT_TRUE(rp.converged);
+  spmvm::testing::expect_vectors_near<double>(x_csr, x_pjds, 1e-6);
+}
+
+TEST(Bicgstab, ReportsBreakdownOnSingularSystem) {
+  // Singular matrix (zero row): cannot converge for a generic b; the
+  // solver must terminate without claiming convergence.
+  Coo<double> coo(4, 4);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.add(2, 2, 1.0);  // row 3 empty -> singular
+  const auto a = std::make_shared<const Csr<double>>(
+      Csr<double>::from_coo(std::move(coo)));
+  const std::vector<double> b = {1, 1, 1, 1};
+  std::vector<double> x(4, 0.0);
+  const auto r = bicgstab(make_operator<double>(a),
+                          std::span<const double>(b), std::span<double>(x),
+                          1e-12, 50);
+  EXPECT_FALSE(r.converged);
+}
+
+}  // namespace
+}  // namespace spmvm::solver

@@ -1,0 +1,51 @@
+#include "gpusim/coalescing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace spmvm::gpusim {
+namespace {
+
+TEST(CoalescedBytes, FullWarpSinglePrecisionIsOneLine) {
+  // 32 lanes x 4 B = 128 B = exactly one Fermi transaction.
+  EXPECT_EQ(coalesced_bytes(32, 4, 128), 128u);
+}
+
+TEST(CoalescedBytes, FullWarpDoublePrecisionIsTwoLines) {
+  EXPECT_EQ(coalesced_bytes(32, 8, 128), 256u);
+}
+
+TEST(CoalescedBytes, PartialWarpRoundsUp) {
+  EXPECT_EQ(coalesced_bytes(1, 4, 128), 128u);
+  EXPECT_EQ(coalesced_bytes(33, 4, 128), 256u);
+}
+
+TEST(CoalescedBytes, ZeroSpanIsFree) { EXPECT_EQ(coalesced_bytes(0, 8, 128), 0u); }
+
+TEST(GatherLines, DedupsWithinWarp) {
+  const std::array<std::uint64_t, 6> addrs = {0, 4, 8, 128, 132, 1024};
+  std::array<std::uint64_t, 6> out{};
+  EXPECT_EQ(gather_lines(addrs, 128, out), 3u);  // lines 0, 1, 8
+}
+
+TEST(GatherLines, AllSameLine) {
+  const std::array<std::uint64_t, 4> addrs = {0, 1, 2, 3};
+  std::array<std::uint64_t, 4> out{};
+  EXPECT_EQ(gather_lines(addrs, 128, out), 1u);
+  EXPECT_EQ(out[0], 0u);
+}
+
+TEST(GatherLines, AllDistinct) {
+  const std::array<std::uint64_t, 3> addrs = {0, 128, 256};
+  std::array<std::uint64_t, 3> out{};
+  EXPECT_EQ(gather_lines(addrs, 128, out), 3u);
+}
+
+TEST(GatherLines, EmptyGather) {
+  std::array<std::uint64_t, 1> out{};
+  EXPECT_EQ(gather_lines(std::span<const std::uint64_t>{}, 128, out), 0u);
+}
+
+}  // namespace
+}  // namespace spmvm::gpusim

@@ -1,0 +1,66 @@
+#include "dist/comm_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matgen/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace spmvm::dist {
+namespace {
+
+TEST(CommStats, SingleRankHasNoCommunication) {
+  const auto a = spmvm::testing::random_csr<double>(100, 100, 1, 8, 1);
+  const auto s = analyze_partition(a, partition_uniform(100, 1));
+  EXPECT_EQ(s.max_halo, 0);
+  EXPECT_EQ(s.max_peers, 0);
+  EXPECT_DOUBLE_EQ(s.nonlocal_fraction(), 0.0);
+  EXPECT_EQ(s.total_nnz, a.nnz());
+}
+
+TEST(CommStats, EntriesConserved) {
+  const auto a = spmvm::testing::random_csr<double>(200, 200, 0, 10, 2);
+  for (int nodes : {2, 5, 8}) {
+    const auto s = analyze_partition(a, partition_uniform(200, nodes));
+    EXPECT_EQ(s.total_nnz, a.nnz()) << nodes;
+  }
+}
+
+TEST(CommStats, HaloGrowsWithRankCount) {
+  const auto a = make_uhbr<double>([] {
+    GenConfig c;
+    c.scale = 512;
+    return c;
+  }());
+  const auto few = analyze_partition(a, partition_balanced_nnz(a, 2));
+  const auto many = analyze_partition(a, partition_balanced_nnz(a, 8));
+  // Total halo (avg * nodes) grows as cuts multiply.
+  EXPECT_GT(many.avg_halo * 8, few.avg_halo * 2);
+  EXPECT_GT(many.nonlocal_fraction(), few.nonlocal_fraction());
+}
+
+TEST(CommStats, BandedMatrixHasTinyHalo) {
+  const auto a = make_banded<double>(512, 2);
+  const auto s = analyze_partition(a, partition_uniform(512, 8));
+  EXPECT_LE(s.max_halo, 4);  // at most `band` per cut side
+  EXPECT_LE(s.max_peers, 2);
+  EXPECT_LT(s.nonlocal_fraction(), 0.05);
+}
+
+TEST(CommStats, BalancedPartitionHasLowImbalance) {
+  const auto a = make_powerlaw<double>(3000, 10.0, 200, 3);
+  const auto uniform = analyze_partition(a, partition_uniform(3000, 6));
+  const auto balanced = analyze_partition(a, partition_balanced_nnz(a, 6));
+  EXPECT_LE(balanced.nnz_imbalance, uniform.nnz_imbalance + 1e-9);
+  EXPECT_LT(balanced.nnz_imbalance, 1.3);
+}
+
+TEST(CommStats, FormatMentionsKeyFigures) {
+  const auto a = spmvm::testing::random_csr<double>(64, 64, 1, 6, 4);
+  const auto s = analyze_partition(a, partition_uniform(64, 4));
+  const auto line = format_stats(s);
+  EXPECT_NE(line.find("4 ranks"), std::string::npos);
+  EXPECT_NE(line.find("peers"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spmvm::dist

@@ -1,0 +1,97 @@
+#include "sparse/convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace spmvm {
+namespace {
+
+TEST(PermuteCsr, RowOnlyReordersRows) {
+  const auto a = testing::random_csr<double>(20, 30, 1, 5, 11);
+  const auto p = Permutation::from_new_to_old([] {
+    std::vector<index_t> v(20);
+    for (index_t i = 0; i < 20; ++i) v[static_cast<std::size_t>(i)] = 19 - i;
+    return v;
+  }());
+  const auto b = permute_csr(a, p, PermuteColumns::no);
+  b.validate();
+  for (index_t r = 0; r < 20; ++r)
+    EXPECT_EQ(b.dense_row(r), a.dense_row(19 - r));
+}
+
+TEST(PermuteCsr, SymmetricPermutationPreservesProduct) {
+  // (P A Pᵀ)(P x) == P (A x) — the identity that lets solvers iterate in
+  // the permuted basis.
+  const auto a = testing::random_csr<double>(40, 40, 1, 6, 13);
+  std::vector<index_t> lens(40);
+  for (index_t i = 0; i < 40; ++i)
+    lens[static_cast<std::size_t>(i)] = a.row_len(i);
+  const auto p = Permutation::sort_descending(lens, 40);
+  const auto b = permute_csr(a, p, PermuteColumns::yes);
+  b.validate();
+
+  const auto x = testing::random_vector<double>(40, 17);
+  std::vector<double> x_perm(40);
+  p.to_permuted<double>(x, x_perm);
+
+  const auto y_ref = testing::reference_spmv(a, x);
+  const auto y_perm = testing::reference_spmv(b, x_perm);
+  std::vector<double> y_back(40);
+  p.from_permuted<double>(y_perm, y_back);
+  testing::expect_vectors_near<double>(y_ref, y_back, 1e-12);
+}
+
+TEST(PermuteCsr, SymmetricRequiresSquare) {
+  const auto a = testing::random_csr<double>(4, 5, 1, 2, 1);
+  const auto p = Permutation::identity(4);
+  EXPECT_THROW(permute_csr(a, p, PermuteColumns::yes), Error);
+}
+
+TEST(PermuteCsr, IdentityIsNoop) {
+  const auto a = testing::random_csr<double>(25, 25, 0, 7, 19);
+  const auto b = permute_csr(a, Permutation::identity(25), PermuteColumns::yes);
+  EXPECT_TRUE(structurally_equal(a, b));
+}
+
+TEST(Transpose, InvolutionRestoresMatrix) {
+  const auto a = testing::random_csr<double>(30, 45, 0, 9, 23);
+  const auto t = transpose(a);
+  t.validate();
+  EXPECT_EQ(t.n_rows, 45);
+  EXPECT_EQ(t.n_cols, 30);
+  EXPECT_TRUE(structurally_equal(a, transpose(t)));
+}
+
+TEST(Transpose, MatchesDenseTranspose) {
+  const auto a = testing::random_csr<double>(8, 6, 0, 4, 29);
+  const auto t = transpose(a);
+  for (index_t i = 0; i < a.n_rows; ++i) {
+    const auto row = a.dense_row(i);
+    for (index_t j = 0; j < a.n_cols; ++j)
+      EXPECT_DOUBLE_EQ(row[static_cast<std::size_t>(j)],
+                       t.dense_row(j)[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(IsSymmetric, DetectsSymmetry) {
+  Coo<double> coo(3, 3);
+  coo.add_symmetric(0, 1, 2.0);
+  coo.add(2, 2, 1.0);
+  const auto sym = Csr<double>::from_coo(std::move(coo));
+  EXPECT_TRUE(is_symmetric(sym));
+
+  Coo<double> coo2(3, 3);
+  coo2.add(0, 1, 2.0);
+  const auto asym = Csr<double>::from_coo(std::move(coo2));
+  EXPECT_FALSE(is_symmetric(asym));
+}
+
+TEST(IsSymmetric, NonSquareIsNever) {
+  const auto a = testing::random_csr<double>(3, 4, 1, 2, 31);
+  EXPECT_FALSE(is_symmetric(a));
+}
+
+}  // namespace
+}  // namespace spmvm

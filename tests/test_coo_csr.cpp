@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace spmvm {
+namespace {
+
+TEST(Coo, RejectsOutOfRangeIndices) {
+  Coo<double> coo(3, 3);
+  EXPECT_THROW(coo.add(3, 0, 1.0), Error);
+  EXPECT_THROW(coo.add(0, -1, 1.0), Error);
+  EXPECT_THROW(coo.add(-1, 0, 1.0), Error);
+}
+
+TEST(Coo, SortAndCombineSumsDuplicates) {
+  Coo<double> coo(2, 2);
+  coo.add(1, 1, 2.0);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 3.0);
+  coo.sort_and_combine();
+  ASSERT_EQ(coo.size(), 2);
+  EXPECT_EQ(coo.entries()[0].row, 0);
+  EXPECT_EQ(coo.entries()[1].row, 1);
+  EXPECT_DOUBLE_EQ(coo.entries()[1].val, 5.0);
+}
+
+TEST(Coo, AddSymmetricMirrorsOffDiagonal) {
+  Coo<double> coo(3, 3);
+  coo.add_symmetric(0, 1, 4.0);
+  coo.add_symmetric(2, 2, 7.0);
+  EXPECT_EQ(coo.size(), 3);  // (0,1), (1,0), (2,2)
+}
+
+TEST(Csr, FromCooBuildsCorrectStructure) {
+  Coo<double> coo(3, 4);
+  coo.add(0, 1, 1.0);
+  coo.add(0, 3, 2.0);
+  coo.add(2, 0, 3.0);
+  const auto a = Csr<double>::from_coo(std::move(coo));
+  a.validate();
+  EXPECT_EQ(a.n_rows, 3);
+  EXPECT_EQ(a.n_cols, 4);
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_EQ(a.row_len(0), 2);
+  EXPECT_EQ(a.row_len(1), 0);
+  EXPECT_EQ(a.row_len(2), 1);
+  EXPECT_EQ(a.max_row_len(), 2);
+  EXPECT_EQ(a.min_row_len(), 0);
+  EXPECT_DOUBLE_EQ(a.avg_row_len(), 1.0);
+}
+
+TEST(Csr, DenseRowRoundTrip) {
+  Coo<double> coo(2, 3);
+  coo.add(0, 0, 1.5);
+  coo.add(0, 2, -2.5);
+  const auto a = Csr<double>::from_coo(std::move(coo));
+  const auto row = a.dense_row(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 1.5);
+  EXPECT_DOUBLE_EQ(row[1], 0.0);
+  EXPECT_DOUBLE_EQ(row[2], -2.5);
+  EXPECT_THROW(a.dense_row(2), Error);
+}
+
+TEST(Csr, EmptyMatrix) {
+  Coo<double> coo(0, 0);
+  const auto a = Csr<double>::from_coo(std::move(coo));
+  a.validate();
+  EXPECT_EQ(a.nnz(), 0);
+  EXPECT_EQ(a.max_row_len(), 0);
+  EXPECT_DOUBLE_EQ(a.avg_row_len(), 0.0);
+}
+
+TEST(Csr, ValidateCatchesUnsortedColumns) {
+  Csr<double> a;
+  a.n_rows = 1;
+  a.n_cols = 3;
+  a.row_ptr = {0, 2};
+  a.col_idx = {2, 1};  // descending: invalid
+  a.val = {1.0, 2.0};
+  EXPECT_THROW(a.validate(), Error);
+}
+
+TEST(Csr, ValidateCatchesOutOfRangeColumn) {
+  Csr<double> a;
+  a.n_rows = 1;
+  a.n_cols = 2;
+  a.row_ptr = {0, 1};
+  a.col_idx = {5};
+  a.val = {1.0};
+  EXPECT_THROW(a.validate(), Error);
+}
+
+TEST(Csr, StructurallyEqual) {
+  const auto a = testing::random_csr<double>(50, 50, 1, 8, 1);
+  auto b = a;
+  EXPECT_TRUE(structurally_equal(a, b));
+  b.val[0] += 1.0;
+  EXPECT_FALSE(structurally_equal(a, b));
+}
+
+TEST(Csr, RandomMatrixValidates) {
+  const auto a = testing::random_csr<double>(200, 150, 0, 20, 7);
+  a.validate();
+  EXPECT_EQ(a.n_rows, 200);
+  EXPECT_EQ(a.n_cols, 150);
+  EXPECT_LE(a.max_row_len(), 20);
+}
+
+TEST(Csr, BytesAccountsAllArrays) {
+  const auto a = testing::random_csr<double>(10, 10, 2, 2, 3);
+  const std::size_t expected = static_cast<std::size_t>(a.nnz()) * (8 + 4) +
+                               11 * sizeof(offset_t);
+  EXPECT_EQ(a.bytes(), expected);
+}
+
+}  // namespace
+}  // namespace spmvm

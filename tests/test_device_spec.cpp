@@ -1,0 +1,50 @@
+#include "gpusim/device_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spmvm::gpusim {
+namespace {
+
+TEST(DeviceSpec, C2070PeakMatchesPaper) {
+  // Paper: 896 flops per cycle on the whole GF100 chip; DP is half.
+  const auto d = DeviceSpec::tesla_c2070();
+  EXPECT_DOUBLE_EQ(d.peak_flops(Precision::sp) / (d.clock_ghz * 1e9), 896.0);
+  EXPECT_DOUBLE_EQ(d.peak_flops(Precision::dp),
+                   d.peak_flops(Precision::sp) / 2.0);
+}
+
+TEST(DeviceSpec, C2070BandwidthsMatchPaper) {
+  // Paper: ~91 GB/s sustained with ECC, ~120 GB/s without.
+  const auto d = DeviceSpec::tesla_c2070();
+  EXPECT_DOUBLE_EQ(d.bandwidth_bytes(true), 91e9);
+  EXPECT_DOUBLE_EQ(d.bandwidth_bytes(false), 120e9);
+}
+
+TEST(DeviceSpec, C2050IsThreeGigabyteC2070) {
+  const auto a = DeviceSpec::tesla_c2050();
+  const auto b = DeviceSpec::tesla_c2070();
+  EXPECT_EQ(a.num_mps, b.num_mps);
+  EXPECT_EQ(a.dram_bytes * 2, b.dram_bytes);
+}
+
+TEST(DeviceSpec, C1060HasNoL2AndNoEcc) {
+  const auto d = DeviceSpec::tesla_c1060();
+  EXPECT_EQ(d.l2_bytes, 0u);
+  EXPECT_FALSE(d.has_ecc);
+  // ECC request is ignored on a card without ECC.
+  EXPECT_DOUBLE_EQ(d.bandwidth_bytes(true), d.bandwidth_bytes(false));
+}
+
+TEST(DeviceSpec, ScalarBytes) {
+  EXPECT_EQ(scalar_bytes(Precision::sp), 4u);
+  EXPECT_EQ(scalar_bytes(Precision::dp), 8u);
+}
+
+TEST(CpuNodeSpec, WestmereDefaults) {
+  const auto n = CpuNodeSpec::westmere_ep();
+  EXPECT_EQ(n.cores, 12);
+  EXPECT_GT(n.bw_gbs, 20.0);
+}
+
+}  // namespace
+}  // namespace spmvm::gpusim

@@ -1,0 +1,105 @@
+#include "dist/dist_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matgen/generators.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace spmvm::dist {
+namespace {
+
+TEST(DistMatrix, SplitCoversAllEntries) {
+  const auto a = testing::random_csr<double>(120, 120, 0, 10, 1);
+  const auto part = partition_uniform(120, 4);
+  offset_t total = 0;
+  for (int r = 0; r < 4; ++r) {
+    const auto d = distribute(a, part, r);
+    d.validate();
+    total += d.local.nnz() + d.nonlocal.nnz();
+  }
+  EXPECT_EQ(total, a.nnz());
+}
+
+TEST(DistMatrix, LocalPartIsDiagonalBlock) {
+  const auto a = testing::random_csr<double>(60, 60, 1, 8, 2);
+  const auto part = partition_uniform(60, 3);
+  for (int r = 0; r < 3; ++r) {
+    const auto d = distribute(a, part, r);
+    const index_t row0 = part.begin(r);
+    // Every local entry must correspond to an owned column of `a`.
+    for (index_t i = 0; i < d.n_local; ++i)
+      for (offset_t k = d.local.row_ptr[static_cast<std::size_t>(i)];
+           k < d.local.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        const index_t c =
+            d.local.col_idx[static_cast<std::size_t>(k)] + row0;
+        EXPECT_EQ(part.owner(c), r);
+      }
+  }
+}
+
+TEST(DistMatrix, HaloGroupsAreSortedAndOwnedRemotely) {
+  const auto a = testing::random_csr<double>(200, 200, 2, 12, 3);
+  const auto part = partition_uniform(200, 5);
+  const auto d = distribute(a, part, 2);
+  d.validate();
+  for (index_t h = 1; h < d.n_halo; ++h)
+    EXPECT_LT(d.halo_global[static_cast<std::size_t>(h) - 1],
+              d.halo_global[static_cast<std::size_t>(h)]);
+}
+
+TEST(DistMatrix, SendListsMirrorRecvLists) {
+  // What rank r sends to p is exactly what p receives from r.
+  const auto a = testing::random_csr<double>(150, 150, 1, 9, 4);
+  const auto part = partition_uniform(150, 3);
+  std::vector<DistMatrix<double>> views;
+  for (int r = 0; r < 3; ++r) views.push_back(distribute(a, part, r));
+  for (int r = 0; r < 3; ++r)
+    for (int p = 0; p < 3; ++p) {
+      if (r == p) continue;
+      const auto& send = views[static_cast<std::size_t>(r)]
+                             .send_idx[static_cast<std::size_t>(p)];
+      const auto& dp = views[static_cast<std::size_t>(p)];
+      const auto off = dp.recv_offset[static_cast<std::size_t>(r)];
+      const auto cnt = dp.recv_count[static_cast<std::size_t>(r)];
+      ASSERT_EQ(static_cast<index_t>(send.size()), cnt);
+      for (index_t k = 0; k < cnt; ++k)
+        EXPECT_EQ(send[static_cast<std::size_t>(k)] + part.begin(r),
+                  dp.halo_global[static_cast<std::size_t>(off + k)]);
+    }
+}
+
+TEST(DistMatrix, BandedMatrixTalksOnlyToNeighbors) {
+  const auto a = make_banded<double>(400, 3);
+  const auto part = partition_uniform(400, 8);
+  for (int r = 0; r < 8; ++r) {
+    const auto d = distribute(a, part, r);
+    const int expected = (r == 0 || r == 7) ? 1 : 2;
+    EXPECT_EQ(d.n_peers(), expected) << "rank " << r;
+    // Narrow band: halo is at most `band` entries per side.
+    EXPECT_LE(d.n_halo, 6);
+  }
+}
+
+TEST(DistMatrix, SinglePartHasNoCommunication) {
+  const auto a = testing::random_csr<double>(50, 50, 1, 6, 5);
+  const auto d = distribute(a, partition_uniform(50, 1), 0);
+  d.validate();
+  EXPECT_EQ(d.n_halo, 0);
+  EXPECT_EQ(d.n_peers(), 0);
+  EXPECT_EQ(d.local.nnz(), a.nnz());
+  EXPECT_EQ(d.nonlocal.nnz(), 0);
+}
+
+TEST(DistMatrix, RejectsNonSquare) {
+  const auto a = testing::random_csr<double>(20, 30, 1, 3, 6);
+  EXPECT_THROW(distribute(a, partition_uniform(20, 2), 0), Error);
+}
+
+TEST(DistMatrix, RejectsBadRank) {
+  const auto a = testing::random_csr<double>(20, 20, 1, 3, 7);
+  EXPECT_THROW(distribute(a, partition_uniform(20, 2), 2), Error);
+}
+
+}  // namespace
+}  // namespace spmvm::dist

@@ -1,0 +1,91 @@
+#include "dist/dist_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+
+#include "matgen/generators.hpp"
+#include "solver/cg.hpp"
+#include "test_helpers.hpp"
+
+namespace spmvm::dist {
+namespace {
+
+using spmvm::testing::random_vector;
+
+struct DistRun {
+  std::vector<double> x;
+  DistCgResult result;
+};
+
+DistRun run_dist_cg(const Csr<double>& a, int n_ranks, CommScheme scheme,
+                    const std::vector<double>& b) {
+  const auto part = partition_balanced_nnz(a, n_ranks);
+  DistRun out;
+  out.x.assign(static_cast<std::size_t>(a.n_rows), 0.0);
+  std::mutex m;
+  msg::Runtime::run(n_ranks, [&](msg::Comm& comm) {
+    const auto d = distribute(a, part, comm.rank());
+    const index_t row0 = part.begin(comm.rank());
+    std::vector<double> b_local(b.begin() + row0,
+                                b.begin() + part.end(comm.rank()));
+    std::vector<double> x_local(static_cast<std::size_t>(d.n_local), 0.0);
+    const auto r = dist_cg(comm, d, std::span<const double>(b_local),
+                           std::span<double>(x_local), 1e-11, 2000, scheme);
+    std::lock_guard<std::mutex> lock(m);
+    std::copy(x_local.begin(), x_local.end(), out.x.begin() + row0);
+    out.result = r;  // identical on every rank
+  });
+  return out;
+}
+
+TEST(DistCg, MatchesSerialCgOnPoisson) {
+  const auto a = make_poisson2d<double>(18, 18);
+  const auto b = random_vector<double>(a.n_rows, 1);
+
+  std::vector<double> x_serial(b.size(), 0.0);
+  const auto shared = std::make_shared<const Csr<double>>(a);
+  const auto rs = solver::cg(solver::make_operator<double>(shared),
+                             std::span<const double>(b),
+                             std::span<double>(x_serial), 1e-11, 2000);
+  ASSERT_TRUE(rs.converged);
+
+  const auto dist = run_dist_cg(a, 4, CommScheme::task_mode, b);
+  EXPECT_TRUE(dist.result.converged);
+  EXPECT_EQ(dist.result.iterations, rs.iterations);
+  spmvm::testing::expect_vectors_near<double>(x_serial, dist.x, 1e-6);
+}
+
+TEST(DistCg, AllSchemesAgree) {
+  const auto a = make_banded<double>(150, 5);
+  const auto b = random_vector<double>(150, 2);
+  const auto v = run_dist_cg(a, 3, CommScheme::vector_mode, b);
+  const auto n = run_dist_cg(a, 3, CommScheme::naive_overlap, b);
+  const auto t = run_dist_cg(a, 3, CommScheme::task_mode, b);
+  ASSERT_TRUE(v.result.converged);
+  EXPECT_EQ(v.x, n.x);  // identical arithmetic across schemes
+  EXPECT_EQ(v.x, t.x);
+}
+
+TEST(DistCg, RankCountDoesNotChangeSolution) {
+  const auto a = make_poisson2d<double>(12, 12);
+  const auto b = random_vector<double>(a.n_rows, 3);
+  const auto one = run_dist_cg(a, 1, CommScheme::task_mode, b);
+  const auto many = run_dist_cg(a, 6, CommScheme::task_mode, b);
+  ASSERT_TRUE(one.result.converged);
+  ASSERT_TRUE(many.result.converged);
+  spmvm::testing::expect_vectors_near<double>(one.x, many.x, 1e-6);
+}
+
+TEST(DistCg, SolutionSolvesSystem) {
+  const auto a = make_banded<double>(200, 3);
+  const auto b = random_vector<double>(200, 4);
+  const auto run = run_dist_cg(a, 5, CommScheme::naive_overlap, b);
+  ASSERT_TRUE(run.result.converged);
+  const auto ax = spmvm::testing::reference_spmv(a, run.x);
+  spmvm::testing::expect_vectors_near<double>(b, ax, 1e-7);
+}
+
+}  // namespace
+}  // namespace spmvm::dist

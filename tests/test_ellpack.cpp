@@ -1,0 +1,89 @@
+#include "sparse/ellpack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace spmvm {
+namespace {
+
+TEST(Ellpack, PadsRowsToChunk) {
+  const auto a = testing::random_csr<double>(33, 33, 1, 4, 1);
+  const auto e = Ellpack<double>::from_csr(a, 32);
+  e.validate();
+  EXPECT_EQ(e.padded_rows, 64);
+  EXPECT_EQ(e.width, a.max_row_len());
+  EXPECT_EQ(e.nnz, a.nnz());
+}
+
+TEST(Ellpack, ExactMultipleNeedsNoRowPadding) {
+  const auto a = testing::random_csr<double>(64, 64, 1, 4, 2);
+  const auto e = Ellpack<double>::from_csr(a, 32);
+  EXPECT_EQ(e.padded_rows, 64);
+}
+
+TEST(Ellpack, ColumnMajorLayoutMatchesCsr) {
+  const auto a = testing::random_csr<double>(20, 20, 0, 6, 3);
+  const auto e = Ellpack<double>::from_csr(a, 4);
+  e.validate();
+  for (index_t i = 0; i < a.n_rows; ++i) {
+    const offset_t b = a.row_ptr[static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < a.row_len(i); ++j) {
+      const std::size_t k = static_cast<std::size_t>(j) *
+                                static_cast<std::size_t>(e.padded_rows) +
+                            static_cast<std::size_t>(i);
+      EXPECT_DOUBLE_EQ(e.val[k], a.val[static_cast<std::size_t>(b + j)]);
+      EXPECT_EQ(e.col_idx[k], a.col_idx[static_cast<std::size_t>(b + j)]);
+    }
+  }
+}
+
+TEST(Ellpack, PaddingEntriesAreZero) {
+  const auto a = testing::random_csr<double>(10, 10, 1, 5, 4);
+  const auto e = Ellpack<double>::from_csr(a, 8);
+  for (index_t i = 0; i < e.padded_rows; ++i) {
+    for (index_t j = e.row_len[static_cast<std::size_t>(i)]; j < e.width; ++j) {
+      const std::size_t k = static_cast<std::size_t>(j) *
+                                static_cast<std::size_t>(e.padded_rows) +
+                            static_cast<std::size_t>(i);
+      EXPECT_DOUBLE_EQ(e.val[k], 0.0);
+      EXPECT_EQ(e.col_idx[k], 0);
+    }
+  }
+}
+
+TEST(Ellpack, FillFractionForConstantRowLength) {
+  // Constant row length: ELLPACK has no fill beyond the phantom rows.
+  const auto a = testing::random_csr<double>(32, 32, 5, 5, 5);
+  const auto e = Ellpack<double>::from_csr(a, 32);
+  EXPECT_DOUBLE_EQ(e.fill_fraction(), 0.0);
+}
+
+TEST(Ellpack, WorstCaseFill) {
+  // One full row plus single-entry rows: ELLPACK stores nearly N*N.
+  Coo<double> coo(32, 32);
+  for (index_t j = 0; j < 32; ++j) coo.add(0, j, 1.0);
+  for (index_t i = 1; i < 32; ++i) coo.add(i, 0, 1.0);
+  const auto e =
+      Ellpack<double>::from_csr(Csr<double>::from_coo(std::move(coo)), 32);
+  EXPECT_EQ(e.stored_entries(), 32 * 32);
+  EXPECT_GT(e.fill_fraction(), 0.9);
+}
+
+TEST(Ellpack, BytesWithAndWithoutRowLen) {
+  const auto a = testing::random_csr<double>(16, 16, 2, 4, 6);
+  const auto e = Ellpack<double>::from_csr(a, 16);
+  EXPECT_EQ(e.bytes(true) - e.bytes(false),
+            static_cast<std::size_t>(e.padded_rows) * sizeof(index_t));
+}
+
+TEST(Ellpack, EmptyMatrix) {
+  Coo<double> coo(0, 0);
+  const auto e =
+      Ellpack<double>::from_csr(Csr<double>::from_coo(std::move(coo)), 32);
+  e.validate();
+  EXPECT_EQ(e.stored_entries(), 0);
+}
+
+}  // namespace
+}  // namespace spmvm

@@ -1,0 +1,121 @@
+// Parameterized invariant suite for the GPU simulator: physical sanity
+// across every (format, device, matrix, ECC) combination.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gpusim/gpu_spmv.hpp"
+#include "matgen/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace spmvm::gpusim {
+namespace {
+
+enum class MatKind { random_wide, banded, stencil, powerlaw, uniform };
+
+Csr<double> make_matrix(MatKind kind) {
+  switch (kind) {
+    case MatKind::random_wide:
+      return spmvm::testing::random_csr<double>(700, 700, 0, 48, 11);
+    case MatKind::banded:
+      return make_banded<double>(900, 6);
+    case MatKind::stencil:
+      return make_poisson2d<double>(30, 30);
+    case MatKind::powerlaw:
+      return make_powerlaw<double>(800, 9.0, 120, 12);
+    case MatKind::uniform:
+      return make_random_uniform<double>(600, 24, 13);
+  }
+  return {};
+}
+
+class SimInvariants
+    : public ::testing::TestWithParam<
+          std::tuple<MatKind, FormatKind, bool /*ecc*/, bool /*fermi*/>> {};
+
+TEST_P(SimInvariants, PhysicallySane) {
+  const auto& [mat, format, ecc, fermi] = GetParam();
+  const auto a = make_matrix(mat);
+  const auto dev =
+      fermi ? DeviceSpec::tesla_c2070() : DeviceSpec::tesla_c1060();
+  SimOptions opt;
+  opt.ecc = ecc;
+  const auto r = simulate_format(dev, a, format, opt);
+
+  // Throughput is positive and below both roofs.
+  EXPECT_GT(r.gflops, 0.0);
+  EXPECT_LT(r.gflops, dev.peak_flops(Precision::dp) / 1e9);
+  EXPECT_LE(r.gflops,
+            dev.bandwidth_bytes(ecc) / 1e9 / r.code_balance + 1.0);
+
+  // Useful flops are exactly 2 nnz.
+  EXPECT_EQ(r.stats.flops, 2 * static_cast<std::uint64_t>(a.nnz()));
+
+  // Traffic can never undercut the compulsory matrix data (one value
+  // per non-zero).
+  EXPECT_GE(r.stats.dram_bytes(),
+            static_cast<std::uint64_t>(a.nnz()) * sizeof(double));
+
+  // Warp accounting.
+  EXPECT_GT(r.stats.warps, 0u);
+  EXPECT_GT(r.stats.warp_efficiency(), 0.0);
+  EXPECT_LE(r.stats.warp_efficiency(), 1.0 + 1e-12);
+
+  // Time composition.
+  EXPECT_NEAR(r.seconds,
+              std::max(r.mem_seconds, r.issue_seconds) + dev.kernel_launch_s,
+              1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimInvariants,
+    ::testing::Combine(
+        ::testing::Values(MatKind::random_wide, MatKind::banded,
+                          MatKind::stencil, MatKind::powerlaw,
+                          MatKind::uniform),
+        ::testing::Values(FormatKind::ellpack, FormatKind::ellpack_r,
+                          FormatKind::pjds, FormatKind::sliced_ell,
+                          FormatKind::csr_scalar, FormatKind::csr_vector),
+        ::testing::Values(false, true), ::testing::Values(false, true)));
+
+class EccOrdering : public ::testing::TestWithParam<FormatKind> {};
+
+TEST_P(EccOrdering, EccNeverHelps) {
+  const auto a = make_matrix(MatKind::random_wide);
+  const auto dev = DeviceSpec::tesla_c2070();
+  SimOptions on, off;
+  on.ecc = true;
+  off.ecc = false;
+  EXPECT_GE(simulate_format(dev, a, GetParam(), off).gflops,
+            simulate_format(dev, a, GetParam(), on).gflops);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, EccOrdering,
+                         ::testing::Values(FormatKind::ellpack,
+                                           FormatKind::ellpack_r,
+                                           FormatKind::pjds,
+                                           FormatKind::sliced_ell,
+                                           FormatKind::csr_vector));
+
+TEST(SimDeterminism, RepeatedRunsIdentical) {
+  const auto a = make_matrix(MatKind::powerlaw);
+  const auto dev = DeviceSpec::tesla_c2070();
+  const auto r1 = simulate_format(dev, a, FormatKind::pjds);
+  const auto r2 = simulate_format(dev, a, FormatKind::pjds);
+  EXPECT_DOUBLE_EQ(r1.seconds, r2.seconds);
+  EXPECT_EQ(r1.stats.dram_bytes(), r2.stats.dram_bytes());
+}
+
+TEST(SimMonotonicity, MoreNnzMoreTime) {
+  const auto dev = DeviceSpec::tesla_c2070();
+  double prev = 0.0;
+  for (index_t nnzr : {4, 16, 64}) {
+    const auto a = make_random_uniform<double>(2000, nnzr, 21);
+    const auto r = simulate_format(dev, a, FormatKind::ellpack_r);
+    EXPECT_GT(r.seconds, prev);
+    prev = r.seconds;
+  }
+}
+
+}  // namespace
+}  // namespace spmvm::gpusim

@@ -1,0 +1,70 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace spmvm {
+namespace {
+
+TEST(Histogram, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(3), 0u);
+  EXPECT_DOUBLE_EQ(h.relative_share(3), 0.0);
+  EXPECT_EQ(h.min_value(), 0);
+  EXPECT_EQ(h.max_value(), 0);
+}
+
+TEST(Histogram, CountsAndShares) {
+  Histogram h;
+  h.add(2);
+  h.add(2);
+  h.add(5);
+  h.add(0);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_DOUBLE_EQ(h.relative_share(2), 0.5);
+}
+
+TEST(Histogram, BulkAdd) {
+  Histogram h;
+  h.add(7, 100);
+  EXPECT_EQ(h.count(7), 100u);
+  EXPECT_EQ(h.total(), 100u);
+}
+
+TEST(Histogram, MinMaxMean) {
+  Histogram h;
+  h.add(3);
+  h.add(9);
+  h.add(6);
+  EXPECT_EQ(h.min_value(), 3);
+  EXPECT_EQ(h.max_value(), 9);
+  EXPECT_DOUBLE_EQ(h.mean(), 6.0);
+}
+
+TEST(Histogram, ShareAtLeast) {
+  Histogram h;
+  for (index_t v : {1, 2, 3, 4}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.share_at_least(3), 0.5);
+  EXPECT_DOUBLE_EQ(h.share_at_least(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.share_at_least(5), 0.0);
+}
+
+TEST(Histogram, FromValues) {
+  const index_t values[] = {4, 4, 4, 1};
+  const Histogram h = Histogram::from_values(values);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(4), 3u);
+}
+
+TEST(Histogram, RejectsNegative) {
+  Histogram h;
+  EXPECT_THROW(h.add(-1), Error);
+}
+
+}  // namespace
+}  // namespace spmvm

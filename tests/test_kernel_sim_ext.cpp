@@ -1,0 +1,83 @@
+// Tests for the simulator extensions: the CSR-vector kernel and the
+// C1060 texture-cache handling of pJDS's col_start[].
+#include <gtest/gtest.h>
+
+#include "gpusim/gpu_spmv.hpp"
+#include "matgen/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace spmvm::gpusim {
+namespace {
+
+const DeviceSpec kFermi = DeviceSpec::tesla_c2070();
+
+TEST(CsrVector, BeatsScalarOnLongRows) {
+  const auto a = spmvm::testing::random_csr<double>(2048, 2048, 100, 160, 1);
+  const auto vec = simulate_csr_vector(kFermi, a);
+  const auto scal = simulate_csr_scalar(kFermi, a);
+  EXPECT_GT(vec.gflops, 2.0 * scal.gflops);
+}
+
+TEST(CsrVector, WastefulOnShortRows) {
+  // One warp per 4-entry row: 28 idle lanes plus the reduction steps.
+  const auto a = spmvm::testing::random_csr<double>(20000, 20000, 4, 4, 2);
+  const auto vec = simulate_csr_vector(kFermi, a);
+  const auto er = simulate(kFermi, Ellpack<double>::from_csr(a, 32),
+                           EllpackKernel::r);
+  EXPECT_LT(vec.gflops, er.gflops);
+  EXPECT_LT(vec.stats.warp_efficiency(), 0.25);
+}
+
+TEST(CsrVector, UsefulWorkEqualsNnz) {
+  const auto a = spmvm::testing::random_csr<double>(512, 512, 0, 40, 3);
+  const auto r = simulate_csr_vector(kFermi, a);
+  EXPECT_EQ(r.stats.useful_lane_steps, static_cast<std::uint64_t>(a.nnz()));
+}
+
+TEST(CsrVector, CompetitiveWithEllpackROnUniformLongRows) {
+  const auto a = make_random_uniform<double>(4096, 128, 4);
+  const auto vec = simulate_csr_vector(kFermi, a);
+  const auto er = simulate(kFermi, Ellpack<double>::from_csr(a, 32),
+                           EllpackKernel::r);
+  EXPECT_GT(vec.gflops, 0.5 * er.gflops);
+}
+
+TEST(ColStartTexture, IrrelevantOnFermi) {
+  // The L2 covers col_start[] on GF100: the texture flag changes nothing.
+  const auto a = spmvm::testing::random_csr<double>(1024, 1024, 1, 30, 5);
+  const auto p = Pjds<double>::from_csr(a);
+  SimOptions with_tex, without_tex;
+  without_tex.col_start_in_texture = false;
+  EXPECT_DOUBLE_EQ(simulate(kFermi, p, with_tex).seconds,
+                   simulate(kFermi, p, without_tex).seconds);
+}
+
+TEST(ColStartTexture, RequiredOnC1060) {
+  // Paper: "Here it is also necessary to map the array holding the
+  // column starting offsets (col_start[]) to the texture cache."
+  const auto dev = DeviceSpec::tesla_c1060();
+  const auto a = spmvm::testing::random_csr<double>(4096, 4096, 1, 24, 6);
+  const auto p = Pjds<double>::from_csr(a);
+  SimOptions with_tex, without_tex;
+  without_tex.col_start_in_texture = false;
+  const auto mapped = simulate(dev, p, with_tex);
+  const auto unmapped = simulate(dev, p, without_tex);
+  EXPECT_GT(unmapped.stats.dram_bytes(), mapped.stats.dram_bytes());
+  EXPECT_LE(unmapped.gflops, mapped.gflops);
+}
+
+TEST(FormatKind, CsrVectorDispatches) {
+  const auto a = spmvm::testing::random_csr<double>(256, 256, 1, 10, 7);
+  const auto r = simulate_format(kFermi, a, FormatKind::csr_vector);
+  EXPECT_GT(r.gflops, 0.0);
+  EXPECT_STREQ(to_string(FormatKind::csr_vector), "CSR-vector");
+}
+
+TEST(ClusterFormat, PjdsOptionChangesDeviceBytes) {
+  const auto a = spmvm::testing::random_csr<double>(1024, 1024, 1, 40, 8);
+  EXPECT_LT(device_bytes(a, FormatKind::pjds),
+            device_bytes(a, FormatKind::ellpack_r));
+}
+
+}  // namespace
+}  // namespace spmvm::gpusim

@@ -1,0 +1,87 @@
+#include "gpusim/l2_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace spmvm::gpusim {
+namespace {
+
+TEST(L2Cache, ColdMissThenHit) {
+  L2Cache c(1024, 128, 2);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(127));   // same line
+  EXPECT_FALSE(c.access(128));  // next line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(L2Cache, DisabledCacheAlwaysMisses) {
+  L2Cache c(0, 128, 16);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(c.access(0));
+  EXPECT_EQ(c.misses(), 10u);
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(L2Cache, LruEvictionWithinSet) {
+  // 2 sets x 2 ways of 128B lines = 512B. Lines 0, 2, 4 map to set 0.
+  L2Cache c(512, 128, 2);
+  EXPECT_FALSE(c.access_line(0));
+  EXPECT_FALSE(c.access_line(2));
+  EXPECT_TRUE(c.access_line(0));   // 0 is now MRU
+  EXPECT_FALSE(c.access_line(4));  // evicts 2 (LRU)
+  EXPECT_TRUE(c.access_line(0));
+  EXPECT_FALSE(c.access_line(2));  // was evicted
+}
+
+TEST(L2Cache, CapacityEviction) {
+  // 4 KiB cache, working set 8 KiB: second sweep must keep missing.
+  L2Cache c(4096, 128, 4);
+  for (std::uint64_t line = 0; line < 64; ++line) c.access_line(line);
+  const auto misses_first = c.misses();
+  for (std::uint64_t line = 0; line < 64; ++line) c.access_line(line);
+  EXPECT_EQ(misses_first, 64u);
+  EXPECT_EQ(c.misses(), 128u);  // LRU + sequential sweep = no reuse
+}
+
+TEST(L2Cache, FitsWorkingSetSecondSweepHits) {
+  L2Cache c(16384, 128, 4);  // 128 lines capacity, 64-line working set
+  for (std::uint64_t line = 0; line < 64; ++line) c.access_line(line);
+  for (std::uint64_t line = 0; line < 64; ++line)
+    EXPECT_TRUE(c.access_line(line));
+}
+
+TEST(L2Cache, ResetClearsState) {
+  L2Cache c(1024, 128, 2);
+  c.access(0);
+  c.access(0);
+  c.reset();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_FALSE(c.access(0));  // cold again
+}
+
+TEST(L2Cache, HitRate) {
+  L2Cache c(1024, 128, 2);
+  c.access(0);
+  c.access(0);
+  c.access(0);
+  c.access(0);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.75);
+}
+
+TEST(L2Cache, RejectsBadGeometry) {
+  EXPECT_THROW(L2Cache(128, 0, 4), Error);
+  EXPECT_THROW(L2Cache(128, 128, 0), Error);
+  EXPECT_THROW(L2Cache(128, 128, 2), Error);  // < 1 set
+}
+
+TEST(L2Cache, FermiGeometryAccepted) {
+  L2Cache c(768 * 1024, 128, 16);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(64));
+}
+
+}  // namespace
+}  // namespace spmvm::gpusim

@@ -1,0 +1,100 @@
+#include "sparse/matrix_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace spmvm {
+namespace {
+
+TEST(MatrixMarket, ReadsGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 3\n"
+      "1 1 1.5\n"
+      "2 3 -2.0\n"
+      "3 4 7.25\n");
+  const auto a = read_matrix_market<double>(in);
+  a.validate();
+  EXPECT_EQ(a.n_rows, 3);
+  EXPECT_EQ(a.n_cols, 4);
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_DOUBLE_EQ(a.dense_row(1)[2], -2.0);
+}
+
+TEST(MatrixMarket, ReadsSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 3 1.0\n");
+  const auto a = read_matrix_market<double>(in);
+  EXPECT_EQ(a.nnz(), 3);  // (1,0), (0,1), (2,2)
+  EXPECT_DOUBLE_EQ(a.dense_row(0)[1], 5.0);
+  EXPECT_DOUBLE_EQ(a.dense_row(1)[0], 5.0);
+}
+
+TEST(MatrixMarket, ReadsSkewSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  const auto a = read_matrix_market<double>(in);
+  EXPECT_DOUBLE_EQ(a.dense_row(1)[0], 3.0);
+  EXPECT_DOUBLE_EQ(a.dense_row(0)[1], -3.0);
+}
+
+TEST(MatrixMarket, ReadsPattern) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const auto a = read_matrix_market<double>(in);
+  EXPECT_DOUBLE_EQ(a.dense_row(0)[1], 1.0);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner) {
+  std::istringstream in("1 1 0\n");
+  EXPECT_THROW(read_matrix_market<double>(in), Error);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat) {
+  std::istringstream in("%%MatrixMarket matrix array real general\n2 2\n");
+  EXPECT_THROW(read_matrix_market<double>(in), Error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market<double>(in), Error);
+}
+
+TEST(MatrixMarket, RoundTripPreservesMatrix) {
+  const auto a = testing::random_csr<double>(30, 25, 0, 6, 42);
+  std::stringstream buffer;
+  write_matrix_market(buffer, a);
+  const auto b = read_matrix_market<double>(buffer);
+  EXPECT_TRUE(structurally_equal(a, b));
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const auto a = testing::random_csr<double>(10, 10, 1, 3, 43);
+  const std::string path = ::testing::TempDir() + "/spmvm_roundtrip.mtx";
+  write_matrix_market_file(path, a);
+  const auto b = read_matrix_market_file<double>(path);
+  EXPECT_TRUE(structurally_equal(a, b));
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file<double>("/nonexistent/foo.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace spmvm

@@ -1,0 +1,67 @@
+#include "sparse/matrix_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace spmvm {
+namespace {
+
+TEST(MatrixStats, BasicQuantities) {
+  Coo<double> coo(4, 4);
+  for (index_t j = 0; j < 4; ++j) coo.add(0, j, 1.0);  // length 4
+  coo.add(1, 0, 1.0);                                  // length 1
+  coo.add(2, 1, 1.0);
+  coo.add(2, 2, 1.0);  // length 2
+  coo.add(3, 3, 1.0);  // length 1
+  const auto a = Csr<double>::from_coo(std::move(coo));
+  const auto s = compute_stats(a);
+  EXPECT_EQ(s.n_rows, 4);
+  EXPECT_EQ(s.nnz, 8);
+  EXPECT_EQ(s.min_row_len, 1);
+  EXPECT_EQ(s.max_row_len, 4);
+  EXPECT_DOUBLE_EQ(s.avg_row_len, 2.0);
+  EXPECT_DOUBLE_EQ(s.relative_width, 4.0);
+  EXPECT_EQ(s.row_len_histogram.count(1), 2u);
+  EXPECT_EQ(s.row_len_histogram.count(2), 1u);
+  EXPECT_EQ(s.row_len_histogram.count(4), 1u);
+}
+
+TEST(MatrixStats, HistogramTotalsMatchRows) {
+  const auto a = testing::random_csr<double>(500, 500, 0, 15, 3);
+  const auto s = compute_stats(a);
+  EXPECT_EQ(s.row_len_histogram.total(), 500u);
+  EXPECT_NEAR(s.row_len_histogram.mean(), s.avg_row_len, 1e-12);
+}
+
+TEST(MatrixStats, ColDistanceOfDiagonalMatrixIsZero) {
+  Coo<double> coo(10, 10);
+  for (index_t i = 0; i < 10; ++i) coo.add(i, i, 1.0);
+  const auto s = compute_stats(Csr<double>::from_coo(std::move(coo)));
+  EXPECT_DOUBLE_EQ(s.mean_col_distance, 0.0);
+}
+
+TEST(MatrixStats, ColDistanceOfOffDiagonal) {
+  Coo<double> coo(10, 10);
+  for (index_t i = 0; i < 5; ++i) coo.add(i, i + 5, 1.0);
+  const auto s = compute_stats(Csr<double>::from_coo(std::move(coo)));
+  EXPECT_DOUBLE_EQ(s.mean_col_distance, 5.0);
+}
+
+TEST(MatrixStats, RelativeWidthZeroWhenEmptyRowExists) {
+  Coo<double> coo(3, 3);
+  coo.add(0, 0, 1.0);
+  const auto s = compute_stats(Csr<double>::from_coo(std::move(coo)));
+  EXPECT_DOUBLE_EQ(s.relative_width, 0.0);
+}
+
+TEST(MatrixStats, FormatStatsMentionsKeyNumbers) {
+  const auto a = testing::random_csr<double>(100, 100, 2, 8, 5);
+  const auto s = compute_stats(a);
+  const std::string line = format_stats("TEST", s);
+  EXPECT_NE(line.find("TEST"), std::string::npos);
+  EXPECT_NE(line.find("100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spmvm

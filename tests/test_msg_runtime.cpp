@@ -1,0 +1,193 @@
+#include "msg/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spmvm::msg {
+namespace {
+
+TEST(MsgRuntime, RanksSeeCorrectIdentity) {
+  std::atomic<int> sum{0};
+  Runtime::run(4, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    sum += comm.rank();
+  });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(MsgRuntime, SingleRankRuns) {
+  bool ran = false;
+  Runtime::run(1, [&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(MsgRuntime, PointToPointRoundTrip) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> data = {1.5, 2.5, 3.5};
+      comm.send_t<double>(1, 7, data);
+      std::vector<double> back(3);
+      comm.recv_t<double>(1, 8, back);
+      EXPECT_EQ(back, (std::vector<double>{3.0, 5.0, 7.0}));
+    } else {
+      std::vector<double> buf(3);
+      comm.recv_t<double>(0, 7, buf);
+      for (auto& v : buf) v *= 2.0;
+      comm.send_t<double>(0, 8, buf);
+    }
+  });
+}
+
+TEST(MsgRuntime, TagMatchingIsSelective) {
+  // Messages with different tags do not satisfy a pending receive even
+  // when they arrive first.
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int a = 111, b = 222;
+      comm.send_t<int>(1, /*tag=*/2, std::span<const int>(&a, 1));
+      comm.send_t<int>(1, /*tag=*/1, std::span<const int>(&b, 1));
+    } else {
+      int first = 0, second = 0;
+      comm.recv_t<int>(0, 1, std::span<int>(&first, 1));
+      comm.recv_t<int>(0, 2, std::span<int>(&second, 1));
+      EXPECT_EQ(first, 222);
+      EXPECT_EQ(second, 111);
+    }
+  });
+}
+
+TEST(MsgRuntime, NonblockingOverlap) {
+  Runtime::run(3, [](Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    const double mine = comm.rank() * 10.0;
+    double got = -1.0;
+    std::vector<Request> reqs;
+    reqs.push_back(comm.irecv_t<double>(prev, 0, std::span<double>(&got, 1)));
+    reqs.push_back(
+        comm.isend_t<double>(next, 0, std::span<const double>(&mine, 1)));
+    comm.waitall(reqs);
+    EXPECT_DOUBLE_EQ(got, prev * 10.0);
+  });
+}
+
+TEST(MsgRuntime, MessageOrderPreservedPerPeerAndTag) {
+  Runtime::run(2, [](Comm& comm) {
+    constexpr int kCount = 64;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kCount; ++i)
+        comm.send_t<int>(1, 5, std::span<const int>(&i, 1));
+    } else {
+      for (int i = 0; i < kCount; ++i) {
+        int v = -1;
+        comm.recv_t<int>(0, 5, std::span<int>(&v, 1));
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(MsgRuntime, BarrierSynchronizes) {
+  std::atomic<int> phase_one{0};
+  std::vector<int> seen(8, -1);
+  Runtime::run(8, [&](Comm& comm) {
+    ++phase_one;
+    comm.barrier();
+    // After the barrier every rank must observe all 8 increments.
+    seen[static_cast<std::size_t>(comm.rank())] = phase_one.load();
+  });
+  for (int v : seen) EXPECT_EQ(v, 8);
+}
+
+TEST(MsgRuntime, BarrierReusable) {
+  Runtime::run(4, [](Comm& comm) {
+    for (int round = 0; round < 25; ++round) comm.barrier();
+  });
+}
+
+TEST(MsgRuntime, AllreduceSum) {
+  Runtime::run(5, [](Comm& comm) {
+    const double total = comm.allreduce_sum(comm.rank() + 1.0);
+    EXPECT_DOUBLE_EQ(total, 15.0);
+  });
+}
+
+TEST(MsgRuntime, Allgather) {
+  Runtime::run(4, [](Comm& comm) {
+    const auto all = comm.allgather(comm.rank() * 2.0);
+    ASSERT_EQ(all.size(), 4u);
+    for (int r = 0; r < 4; ++r)
+      EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(r)], r * 2.0);
+  });
+}
+
+TEST(MsgRuntime, AlltoallPersonalized) {
+  Runtime::run(3, [](Comm& comm) {
+    // Rank r sends the vector {r, d} to destination d.
+    std::vector<std::vector<int>> send(3);
+    for (int d = 0; d < 3; ++d) send[static_cast<std::size_t>(d)] = {comm.rank(), d};
+    const auto got = comm.alltoall_t<int>(send);
+    ASSERT_EQ(got.size(), 3u);
+    for (int s = 0; s < 3; ++s)
+      EXPECT_EQ(got[static_cast<std::size_t>(s)],
+                (std::vector<int>{s, comm.rank()}));
+  });
+}
+
+TEST(MsgRuntime, AlltoallEmptyBuffers) {
+  Runtime::run(3, [](Comm& comm) {
+    std::vector<std::vector<int>> send(3);  // all empty
+    const auto got = comm.alltoall_t<int>(send);
+    for (const auto& v : got) EXPECT_TRUE(v.empty());
+  });
+}
+
+TEST(MsgRuntime, RankExceptionPropagates) {
+  EXPECT_THROW(
+      Runtime::run(3,
+                   [](Comm& comm) {
+                     comm.barrier();  // everyone reaches the barrier
+                     if (comm.rank() == 1)
+                       throw Error("boom");
+                     // Other ranks block; the abort must wake them.
+                     double x = 0;
+                     comm.recv_t<double>(1, 9, std::span<double>(&x, 1));
+                   }),
+      Error);
+}
+
+TEST(MsgRuntime, SizeMismatchIsAnError) {
+  EXPECT_THROW(Runtime::run(2,
+                            [](Comm& comm) {
+                              if (comm.rank() == 0) {
+                                const std::vector<int> v = {1, 2, 3};
+                                comm.send_t<int>(1, 0, v);
+                              } else {
+                                std::vector<int> buf(2);  // wrong size
+                                comm.recv_t<int>(0, 0, buf);
+                              }
+                            }),
+               Error);
+}
+
+TEST(MsgRuntime, RejectsBadRankArguments) {
+  EXPECT_THROW(Runtime::run(0, [](Comm&) {}), Error);
+  EXPECT_THROW(Runtime::run(2,
+                            [](Comm& comm) {
+                              const int x = 1;
+                              comm.send_t<int>(5, 0,
+                                               std::span<const int>(&x, 1));
+                            }),
+               Error);
+}
+
+}  // namespace
+}  // namespace spmvm::msg

@@ -1,0 +1,52 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace spmvm {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    std::vector<int> hits(1000, 0);
+    parallel_for(hits.size(), threads, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i]++;
+    });
+    for (int h : hits) EXPECT_EQ(h, 1) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(0, 4, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::atomic<int> total{0};
+  parallel_for(3, 16, [&](std::size_t b, std::size_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ParallelFor, SameResultSerialAndParallel) {
+  std::vector<double> data(10000);
+  std::iota(data.begin(), data.end(), 0.0);
+  auto run = [&](int threads) {
+    std::vector<double> out(data.size());
+    parallel_for(data.size(), threads, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) out[i] = data[i] * 2.0 + 1.0;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(HardwareThreads, AtLeastOne) { EXPECT_GE(hardware_threads(), 1); }
+
+}  // namespace
+}  // namespace spmvm

@@ -1,0 +1,75 @@
+#include "dist/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace spmvm::dist {
+namespace {
+
+TEST(PartitionUniform, EvenSplit) {
+  const auto p = partition_uniform(100, 4);
+  EXPECT_EQ(p.n_parts(), 4);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(p.count(r), 25);
+}
+
+TEST(PartitionUniform, RemainderSpreadOverFirstRanks) {
+  const auto p = partition_uniform(10, 3);
+  EXPECT_EQ(p.count(0), 4);
+  EXPECT_EQ(p.count(1), 3);
+  EXPECT_EQ(p.count(2), 3);
+  EXPECT_EQ(p.n_rows(), 10);
+}
+
+TEST(PartitionUniform, MorePartsThanRows) {
+  const auto p = partition_uniform(2, 4);
+  EXPECT_EQ(p.count(0) + p.count(1) + p.count(2) + p.count(3), 2);
+}
+
+TEST(PartitionUniform, OwnerLookup) {
+  const auto p = partition_uniform(100, 4);
+  EXPECT_EQ(p.owner(0), 0);
+  EXPECT_EQ(p.owner(24), 0);
+  EXPECT_EQ(p.owner(25), 1);
+  EXPECT_EQ(p.owner(99), 3);
+  EXPECT_THROW(p.owner(100), Error);
+  EXPECT_THROW(p.owner(-1), Error);
+}
+
+TEST(PartitionBalanced, EqualizesNnz) {
+  // Very skewed matrix: first rows dense, rest sparse.
+  Coo<double> coo(100, 100);
+  for (index_t i = 0; i < 10; ++i)
+    for (index_t j = 0; j < 50; ++j) coo.add(i, j, 1.0);
+  for (index_t i = 10; i < 100; ++i) coo.add(i, i, 1.0);
+  const auto a = Csr<double>::from_coo(std::move(coo));
+  const auto p = partition_balanced_nnz(a, 2);
+  // Half the nnz (295) per part: the dense head must not all land with
+  // half the rows.
+  const auto nnz_of = [&](int r) {
+    offset_t n = 0;
+    for (index_t i = p.begin(r); i < p.end(r); ++i) n += a.row_len(i);
+    return n;
+  };
+  EXPECT_LT(p.count(0), 20);
+  EXPECT_NEAR(static_cast<double>(nnz_of(0)),
+              static_cast<double>(nnz_of(1)), 60.0);
+}
+
+TEST(PartitionBalanced, EveryRankGetsRowsWhenPossible) {
+  const auto a = testing::random_csr<double>(64, 64, 1, 4, 3);
+  const auto p = partition_balanced_nnz(a, 8);
+  for (int r = 0; r < 8; ++r) EXPECT_GE(p.count(r), 1);
+  EXPECT_EQ(p.n_rows(), 64);
+}
+
+TEST(Partition, RejectsBadOffsets) {
+  EXPECT_THROW(RowPartition({1, 5}), Error);     // must start at 0
+  EXPECT_THROW(RowPartition({0, 5, 3}), Error);  // decreasing
+  EXPECT_THROW(RowPartition({0}), Error);        // no parts
+  EXPECT_THROW(partition_uniform(10, 0), Error);
+}
+
+}  // namespace
+}  // namespace spmvm::dist

@@ -1,0 +1,78 @@
+#include "sparse/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spmvm {
+namespace {
+
+TEST(Permutation, IdentityMapsToSelf) {
+  const auto p = Permutation::identity(5);
+  EXPECT_TRUE(p.is_identity());
+  for (index_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(p.old_of(i), i);
+    EXPECT_EQ(p.new_of(i), i);
+  }
+}
+
+TEST(Permutation, SortDescendingFullWindow) {
+  const std::vector<index_t> keys = {3, 1, 4, 1, 5};
+  const auto p = Permutation::sort_descending(keys, 5);
+  // Sorted keys: 5(idx4), 4(idx2), 3(idx0), 1(idx1), 1(idx3) — stable.
+  EXPECT_EQ(p.old_of(0), 4);
+  EXPECT_EQ(p.old_of(1), 2);
+  EXPECT_EQ(p.old_of(2), 0);
+  EXPECT_EQ(p.old_of(3), 1);
+  EXPECT_EQ(p.old_of(4), 3);
+}
+
+TEST(Permutation, SortDescendingIsStable) {
+  const std::vector<index_t> keys = {2, 2, 2};
+  const auto p = Permutation::sort_descending(keys, 3);
+  EXPECT_TRUE(p.is_identity());
+}
+
+TEST(Permutation, WindowLimitsSortScope) {
+  const std::vector<index_t> keys = {1, 9, 2, 8};
+  const auto p = Permutation::sort_descending(keys, 2);
+  // Window [0,2): 9,1 -> order 1,0. Window [2,4): 8,2 -> order 3,2.
+  EXPECT_EQ(p.old_of(0), 1);
+  EXPECT_EQ(p.old_of(1), 0);
+  EXPECT_EQ(p.old_of(2), 3);
+  EXPECT_EQ(p.old_of(3), 2);
+}
+
+TEST(Permutation, WindowOneIsIdentity) {
+  const std::vector<index_t> keys = {1, 9, 2, 8};
+  EXPECT_TRUE(Permutation::sort_descending(keys, 1).is_identity());
+}
+
+TEST(Permutation, InverseConsistency) {
+  const std::vector<index_t> keys = {5, 3, 9, 1, 7, 7};
+  const auto p = Permutation::sort_descending(keys, 6);
+  for (index_t r = 0; r < p.size(); ++r) EXPECT_EQ(p.new_of(p.old_of(r)), r);
+  for (index_t i = 0; i < p.size(); ++i) EXPECT_EQ(p.old_of(p.new_of(i)), i);
+}
+
+TEST(Permutation, FromNewToOldValidates) {
+  EXPECT_NO_THROW(Permutation::from_new_to_old({2, 0, 1}));
+  EXPECT_THROW(Permutation::from_new_to_old({0, 0, 1}), Error);   // dup
+  EXPECT_THROW(Permutation::from_new_to_old({0, 3, 1}), Error);   // range
+  EXPECT_THROW(Permutation::from_new_to_old({0, -1, 1}), Error);  // negative
+}
+
+TEST(Permutation, VectorRoundTrip) {
+  const auto p = Permutation::from_new_to_old({2, 0, 3, 1});
+  const std::vector<double> original = {10, 11, 12, 13};
+  std::vector<double> permuted(4), back(4);
+  p.to_permuted<double>(original, permuted);
+  EXPECT_EQ(permuted, (std::vector<double>{12, 10, 13, 11}));
+  p.from_permuted<double>(permuted, back);
+  EXPECT_EQ(back, original);
+}
+
+}  // namespace
+}  // namespace spmvm

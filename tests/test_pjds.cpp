@@ -1,0 +1,144 @@
+#include "core/pjds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/ellpack.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace spmvm {
+namespace {
+
+PjdsOptions opts(index_t br, PermuteColumns pc = PermuteColumns::no) {
+  PjdsOptions o;
+  o.block_rows = br;
+  o.permute_columns = pc;
+  return o;
+}
+
+TEST(Pjds, PaperToyExample) {
+  // Fig. 1-style check on a small matrix with br = 4: rows sorted by
+  // descending length, blocks padded to the block-local maximum.
+  Coo<double> coo(8, 8);
+  // Row lengths: 1, 3, 2, 5, 1, 4, 2, 1.
+  const index_t lens[] = {1, 3, 2, 5, 1, 4, 2, 1};
+  for (index_t i = 0; i < 8; ++i)
+    for (index_t j = 0; j < lens[i]; ++j) coo.add(i, j, 1.0 + i);
+  const auto a = Csr<double>::from_coo(std::move(coo));
+  const auto p = Pjds<double>::from_csr(a, opts(4));
+  p.validate();
+  // Sorted lengths: 5 4 3 2 | 2 1 1 1 -> block widths 5 and 2.
+  EXPECT_EQ(p.padded_row_len(0), 5);
+  EXPECT_EQ(p.padded_row_len(4), 2);
+  EXPECT_EQ(p.stored_entries(), 4 * 5 + 4 * 2);
+  // ELLPACK would store 8 * 5 = 40.
+  EXPECT_LT(p.stored_entries(), 40);
+}
+
+TEST(Pjds, WorstCaseBoundFromPaper) {
+  // One fully populated row, single entries elsewhere: pJDS stores at most
+  // (br + 1) * N - br entries (Sec. II-A), ELLPACK stores N * N.
+  const index_t n = 128, br = 32;
+  Coo<double> coo(n, n);
+  for (index_t j = 0; j < n; ++j) coo.add(0, j, 1.0);
+  for (index_t i = 1; i < n; ++i) coo.add(i, 0, 1.0);
+  const auto a = Csr<double>::from_coo(std::move(coo));
+  const auto p = Pjds<double>::from_csr(a, opts(br));
+  const auto e = Ellpack<double>::from_csr(a, br);
+  EXPECT_EQ(e.stored_entries(), static_cast<offset_t>(n) * n);
+  EXPECT_LE(p.stored_entries(), static_cast<offset_t>(br + 1) * n - br);
+}
+
+TEST(Pjds, ConstantRowLengthHasNoOverheadDifference) {
+  // rowmax[] == N^max_nzr: ELLPACK and pJDS store the same N * width.
+  const auto a = testing::random_csr<double>(96, 96, 6, 6, 21);
+  const auto p = Pjds<double>::from_csr(a, opts(32));
+  const auto e = Ellpack<double>::from_csr(a, 32);
+  EXPECT_EQ(p.stored_entries(), e.stored_entries());
+}
+
+TEST(Pjds, RowLengthsNonIncreasing) {
+  const auto a = testing::random_csr<double>(200, 200, 0, 25, 22);
+  const auto p = Pjds<double>::from_csr(a, opts(32));
+  p.validate();  // includes the monotonicity check
+}
+
+TEST(Pjds, ColStartMatchesDiagonalLengths) {
+  const auto a = testing::random_csr<double>(100, 100, 1, 10, 23);
+  const auto p = Pjds<double>::from_csr(a, opts(16));
+  offset_t acc = 0;
+  for (index_t j = 0; j < p.width; ++j) {
+    EXPECT_EQ(p.col_start[static_cast<std::size_t>(j)], acc);
+    acc += p.diag_len(j);
+  }
+  EXPECT_EQ(p.col_start.back(), acc);
+  EXPECT_EQ(acc, p.stored_entries());
+}
+
+TEST(Pjds, EntriesRecoverCsrRows) {
+  const auto a = testing::random_csr<double>(64, 64, 0, 12, 24);
+  const auto p = Pjds<double>::from_csr(a, opts(8));
+  // Reconstruct each original row from the pJDS arrays and compare.
+  for (index_t r = 0; r < p.n_rows; ++r) {
+    const index_t orig = p.perm.old_of(r);
+    const auto want = a.dense_row(orig);
+    std::vector<double> got(static_cast<std::size_t>(a.n_cols), 0.0);
+    for (index_t j = 0; j < p.row_len[static_cast<std::size_t>(r)]; ++j) {
+      const auto k = static_cast<std::size_t>(
+          p.col_start[static_cast<std::size_t>(j)] + r);
+      got[static_cast<std::size_t>(p.col_idx[k])] = p.val[k];
+    }
+    EXPECT_EQ(want, got) << "row " << r;
+  }
+}
+
+TEST(Pjds, BlockRowsOneEliminatesAllFill) {
+  const auto a = testing::random_csr<double>(50, 50, 0, 9, 25);
+  const auto p = Pjds<double>::from_csr(a, opts(1));
+  EXPECT_EQ(p.stored_entries(), a.nnz());
+  EXPECT_DOUBLE_EQ(p.fill_fraction(), 0.0);
+}
+
+TEST(Pjds, LargerBlocksNeverStoreLess) {
+  const auto a = testing::random_csr<double>(300, 300, 0, 20, 26);
+  offset_t prev = 0;
+  for (index_t br : {1, 4, 16, 32, 64}) {
+    const auto p = Pjds<double>::from_csr(a, opts(br));
+    p.validate();
+    EXPECT_GE(p.stored_entries(), prev) << "br=" << br;
+    prev = p.stored_entries();
+  }
+}
+
+TEST(Pjds, SymmetricPermutationRecordsFlag) {
+  const auto a = testing::random_csr<double>(40, 40, 1, 5, 27);
+  EXPECT_FALSE(Pjds<double>::from_csr(a, opts(8)).columns_permuted);
+  EXPECT_TRUE(Pjds<double>::from_csr(a, opts(8, PermuteColumns::yes))
+                  .columns_permuted);
+}
+
+TEST(Pjds, RejectsInvalidBlockRows) {
+  const auto a = testing::random_csr<double>(10, 10, 1, 2, 28);
+  PjdsOptions o;
+  o.block_rows = 0;
+  EXPECT_THROW(Pjds<double>::from_csr(a, o), Error);
+}
+
+TEST(Pjds, EmptyMatrix) {
+  Coo<double> coo(0, 0);
+  const auto p =
+      Pjds<double>::from_csr(Csr<double>::from_coo(std::move(coo)), opts(32));
+  p.validate();
+  EXPECT_EQ(p.stored_entries(), 0);
+}
+
+TEST(Pjds, PhantomRowsConfinedToLastBlock) {
+  const auto a = testing::random_csr<double>(37, 37, 1, 6, 29);
+  const auto p = Pjds<double>::from_csr(a, opts(16));
+  EXPECT_EQ(p.padded_rows, 48);
+  for (index_t i = 37; i < 48; ++i)
+    EXPECT_EQ(p.row_len[static_cast<std::size_t>(i)], 0);
+}
+
+}  // namespace
+}  // namespace spmvm

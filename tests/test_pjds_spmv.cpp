@@ -1,0 +1,106 @@
+#include "core/pjds_spmv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_helpers.hpp"
+
+namespace spmvm {
+namespace {
+
+class PjdsSpmvSweep
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, int>> {};
+
+TEST_P(PjdsSpmvSweep, MatchesReferenceAcrossBlockSizesAndThreads) {
+  const auto& [n, br, threads] = GetParam();
+  const auto a = testing::random_csr<double>(n, n, 0, 14, 100 + n);
+  PjdsOptions o;
+  o.block_rows = br;
+  o.permute_columns = PermuteColumns::yes;
+  const auto p = Pjds<double>::from_csr(a, o);
+  p.validate();
+
+  const auto x = testing::random_vector<double>(n, 200 + n);
+  std::vector<double> x_perm(static_cast<std::size_t>(n));
+  std::vector<double> y_perm(static_cast<std::size_t>(n));
+  std::vector<double> y(static_cast<std::size_t>(n));
+  p.perm.to_permuted<double>(x, x_perm);
+  spmv(p, std::span<const double>(x_perm), std::span<double>(y_perm), threads);
+  p.perm.from_permuted<double>(y_perm, y);
+  testing::expect_vectors_near<double>(testing::reference_spmv(a, x), y,
+                                       1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, PjdsSpmvSweep,
+                         ::testing::Combine(::testing::Values(1, 31, 64, 257),
+                                            ::testing::Values(1, 8, 32),
+                                            ::testing::Values(1, 4)));
+
+TEST(PjdsSpmv, RowOnlyPermutationUsesOriginalBasisInput) {
+  const auto a = testing::random_csr<double>(80, 80, 1, 9, 300);
+  PjdsOptions o;
+  o.permute_columns = PermuteColumns::no;
+  const auto p = Pjds<double>::from_csr(a, o);
+  const auto x = testing::random_vector<double>(80, 301);
+  std::vector<double> y_perm(80), y(80);
+  spmv(p, std::span<const double>(x), std::span<double>(y_perm));
+  p.perm.from_permuted<double>(y_perm, y);
+  testing::expect_vectors_near<double>(testing::reference_spmv(a, x), y,
+                                       1e-12);
+}
+
+TEST(PjdsSpmv, AxpbyMatchesComposition) {
+  const auto a = testing::random_csr<double>(60, 60, 1, 7, 302);
+  PjdsOptions o;
+  o.permute_columns = PermuteColumns::no;
+  const auto p = Pjds<double>::from_csr(a, o);
+  const auto x = testing::random_vector<double>(60, 303);
+  auto y = testing::random_vector<double>(60, 304);
+  const auto y0 = y;
+  spmv_axpby(p, std::span<const double>(x), std::span<double>(y), 3.0, 0.25);
+
+  std::vector<double> ax(60);
+  spmv(p, std::span<const double>(x), std::span<double>(ax));
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y[i], 0.25 * y0[i] + 3.0 * ax[i], 1e-12);
+}
+
+TEST(PjdsOperator, HidesPermutationSymmetric) {
+  const auto a = testing::random_csr<double>(90, 90, 0, 11, 305);
+  PjdsOptions o;
+  o.permute_columns = PermuteColumns::yes;
+  const PjdsOperator<double> op(Pjds<double>::from_csr(a, o));
+  const auto x = testing::random_vector<double>(90, 306);
+  std::vector<double> y(90);
+  op.apply(std::span<const double>(x), std::span<double>(y));
+  testing::expect_vectors_near<double>(testing::reference_spmv(a, x), y,
+                                       1e-12);
+}
+
+TEST(PjdsOperator, HidesPermutationRowOnly) {
+  const auto a = testing::random_csr<double>(90, 90, 0, 11, 307);
+  PjdsOptions o;
+  o.permute_columns = PermuteColumns::no;
+  const PjdsOperator<double> op(Pjds<double>::from_csr(a, o));
+  const auto x = testing::random_vector<double>(90, 308);
+  std::vector<double> y(90);
+  op.apply(std::span<const double>(x), std::span<double>(y));
+  testing::expect_vectors_near<double>(testing::reference_spmv(a, x), y,
+                                       1e-12);
+}
+
+TEST(PjdsSpmv, FloatPrecision) {
+  const auto a = testing::random_csr<float>(70, 70, 1, 8, 309);
+  PjdsOptions o;
+  o.permute_columns = PermuteColumns::no;
+  const auto p = Pjds<float>::from_csr(a, o);
+  const auto x = testing::random_vector<float>(70, 310);
+  std::vector<float> y_perm(70), y(70);
+  spmv(p, std::span<const float>(x), std::span<float>(y_perm));
+  p.perm.from_permuted<float>(y_perm, y);
+  testing::expect_vectors_near<float>(testing::reference_spmv(a, x), y, 1e-5);
+}
+
+}  // namespace
+}  // namespace spmvm

@@ -1,0 +1,99 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spmvm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 500; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundIsZero) {
+  Rng rng(3);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(11);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 4000; ++i) seen[rng.next_below(8)]++;
+  for (int c : seen) EXPECT_GT(c, 300);  // roughly uniform over 8 bins
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(17);
+  double acc = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += rng.next_double();
+  EXPECT_NEAR(acc / n, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMeanAndVariance) {
+  Rng rng(23);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, ExponentialIntMeanApproximatesParameter) {
+  Rng rng(29);
+  double acc = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    acc += static_cast<double>(rng.exponential_int(10.0));
+  // Flooring shifts the mean down by ~0.5.
+  EXPECT_NEAR(acc / n, 9.5, 0.5);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace spmvm

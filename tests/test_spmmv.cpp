@@ -1,0 +1,104 @@
+#include "core/spmmv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "perfmodel/balance.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace spmvm {
+namespace {
+
+using spmvm::testing::random_csr;
+using spmvm::testing::random_vector;
+
+class SpmmvSweep
+    : public ::testing::TestWithParam<std::tuple<int /*k*/, int /*threads*/>> {
+};
+
+TEST_P(SpmmvSweep, CsrBlockEqualsRepeatedSpmv) {
+  const auto& [k, threads] = GetParam();
+  const index_t n = 120;
+  const auto a = random_csr<double>(n, n, 0, 10, 1);
+  const auto xblk = random_vector<double>(n * k, 2);
+  std::vector<double> yblk(static_cast<std::size_t>(n) * k);
+  spmmv(a, std::span<const double>(xblk), std::span<double>(yblk), k,
+        threads);
+
+  for (int v = 0; v < k; ++v) {
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i)
+      x[static_cast<std::size_t>(i)] =
+          xblk[static_cast<std::size_t>(i) * k + v];
+    const auto yref = testing::reference_spmv(a, x);
+    for (index_t i = 0; i < n; ++i)
+      ASSERT_NEAR(yblk[static_cast<std::size_t>(i) * k + v],
+                  yref[static_cast<std::size_t>(i)], 1e-12)
+          << "vector " << v << " row " << i;
+  }
+}
+
+TEST_P(SpmmvSweep, PjdsBlockMatchesCsrBlock) {
+  const auto& [k, threads] = GetParam();
+  const index_t n = 96;
+  const auto a = random_csr<double>(n, n, 1, 8, 3);
+  PjdsOptions opt;
+  opt.permute_columns = PermuteColumns::no;
+  const auto p = Pjds<double>::from_csr(a, opt);
+
+  const auto xblk = random_vector<double>(n * k, 4);
+  std::vector<double> y_csr(static_cast<std::size_t>(n) * k);
+  std::vector<double> y_perm(static_cast<std::size_t>(n) * k);
+  spmmv(a, std::span<const double>(xblk), std::span<double>(y_csr), k);
+  spmmv(p, std::span<const double>(xblk), std::span<double>(y_perm), k,
+        threads);
+  // Un-permute the row blocks.
+  for (index_t r = 0; r < n; ++r) {
+    const index_t orig = p.perm.old_of(r);
+    for (int v = 0; v < k; ++v)
+      ASSERT_NEAR(y_perm[static_cast<std::size_t>(r) * k + v],
+                  y_csr[static_cast<std::size_t>(orig) * k + v], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, SpmmvSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(1, 4)));
+
+TEST(Spmmv, KOneMatchesSingleVectorKernel) {
+  const auto a = random_csr<double>(80, 80, 0, 7, 5);
+  const auto x = random_vector<double>(80, 6);
+  std::vector<double> y1(80), y2(80);
+  spmmv(a, std::span<const double>(x), std::span<double>(y1), 1);
+  testing::expect_vectors_near<double>(testing::reference_spmv(a, x), y1,
+                                       1e-13);
+  (void)y2;
+}
+
+TEST(Spmmv, BalanceImprovesWithBlockWidth) {
+  // Eq. 1 amortization: the matrix term divides by k.
+  const double b1 = spmmv_code_balance(8, 0.2, 20.0, 1);
+  const double b4 = spmmv_code_balance(8, 0.2, 20.0, 4);
+  const double b16 = spmmv_code_balance(8, 0.2, 20.0, 16);
+  EXPECT_GT(b1, b4);
+  EXPECT_GT(b4, b16);
+  // k = 1 equals the single-vector balance.
+  EXPECT_DOUBLE_EQ(b1, perfmodel::code_balance(8, 0.2, 20.0));
+  // The limit is the vector traffic alone.
+  EXPECT_NEAR(spmmv_code_balance(8, 0.2, 20.0, 1000000),
+              (8 * 0.2 + 16.0 / 20.0) / 2.0, 1e-4);
+}
+
+TEST(Spmmv, RejectsBadBlocks) {
+  const auto a = random_csr<double>(10, 10, 1, 2, 7);
+  std::vector<double> x(20), y(20);
+  EXPECT_THROW(
+      spmmv(a, std::span<const double>(x), std::span<double>(y), 0), Error);
+  EXPECT_THROW(
+      spmmv(a, std::span<const double>(x), std::span<double>(y), 4), Error);
+}
+
+}  // namespace
+}  // namespace spmvm

@@ -1,0 +1,71 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace spmvm {
+namespace {
+
+TEST(Stats, MeanOfKnownSample) {
+  const double xs[] = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean_of(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, StddevOfKnownSample) {
+  const double xs[] = {2, 4, 4, 4, 5, 5, 7, 9};
+  // Sample stddev with n-1 denominator: sqrt(32/7).
+  EXPECT_NEAR(stddev_of(xs), 2.13809, 1e-4);
+}
+
+TEST(Stats, StddevOfSingletonIsZero) {
+  const double xs[] = {42.0};
+  EXPECT_DOUBLE_EQ(stddev_of(xs), 0.0);
+}
+
+TEST(Stats, GeomeanOfPowers) {
+  const double xs[] = {1, 10, 100};
+  EXPECT_NEAR(geomean_of(xs), 10.0, 1e-9);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const double xs[] = {1.0, 0.0};
+  EXPECT_THROW(geomean_of(xs), Error);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const double xs[] = {0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.125), 5.0);
+}
+
+TEST(Stats, SummaryFields) {
+  const double xs[] = {5, 1, 3, 2, 4};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Stats, LinearSlopeOfExactLine) {
+  const double x[] = {1, 2, 3, 4};
+  const double y[] = {3, 5, 7, 9};  // slope 2
+  EXPECT_NEAR(linear_slope(x, y), 2.0, 1e-12);
+}
+
+TEST(Stats, LinearSlopeRejectsConstantX) {
+  const double x[] = {1, 1, 1};
+  const double y[] = {1, 2, 3};
+  EXPECT_THROW(linear_slope(x, y), Error);
+}
+
+}  // namespace
+}  // namespace spmvm
