@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_histograms.dir/bench_fig3_histograms.cpp.o"
+  "CMakeFiles/bench_fig3_histograms.dir/bench_fig3_histograms.cpp.o.d"
+  "bench_fig3_histograms"
+  "bench_fig3_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

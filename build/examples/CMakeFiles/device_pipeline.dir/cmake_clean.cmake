@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_pipeline.dir/device_pipeline.cpp.o"
+  "CMakeFiles/device_pipeline.dir/device_pipeline.cpp.o.d"
+  "device_pipeline"
+  "device_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigensolver.dir/eigensolver.cpp.o"
+  "CMakeFiles/eigensolver.dir/eigensolver.cpp.o.d"
+  "eigensolver"
+  "eigensolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigensolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

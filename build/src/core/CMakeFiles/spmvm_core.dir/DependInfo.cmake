@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/footprint.cpp" "src/core/CMakeFiles/spmvm_core.dir/footprint.cpp.o" "gcc" "src/core/CMakeFiles/spmvm_core.dir/footprint.cpp.o.d"
+  "/root/repo/src/core/pjds.cpp" "src/core/CMakeFiles/spmvm_core.dir/pjds.cpp.o" "gcc" "src/core/CMakeFiles/spmvm_core.dir/pjds.cpp.o.d"
+  "/root/repo/src/core/pjds_spmv.cpp" "src/core/CMakeFiles/spmvm_core.dir/pjds_spmv.cpp.o" "gcc" "src/core/CMakeFiles/spmvm_core.dir/pjds_spmv.cpp.o.d"
+  "/root/repo/src/core/spmmv.cpp" "src/core/CMakeFiles/spmvm_core.dir/spmmv.cpp.o" "gcc" "src/core/CMakeFiles/spmvm_core.dir/spmmv.cpp.o.d"
+  "/root/repo/src/core/to_csr.cpp" "src/core/CMakeFiles/spmvm_core.dir/to_csr.cpp.o" "gcc" "src/core/CMakeFiles/spmvm_core.dir/to_csr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/spmvm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spmvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

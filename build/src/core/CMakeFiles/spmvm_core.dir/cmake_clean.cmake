@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvm_core.dir/footprint.cpp.o"
+  "CMakeFiles/spmvm_core.dir/footprint.cpp.o.d"
+  "CMakeFiles/spmvm_core.dir/pjds.cpp.o"
+  "CMakeFiles/spmvm_core.dir/pjds.cpp.o.d"
+  "CMakeFiles/spmvm_core.dir/pjds_spmv.cpp.o"
+  "CMakeFiles/spmvm_core.dir/pjds_spmv.cpp.o.d"
+  "CMakeFiles/spmvm_core.dir/spmmv.cpp.o"
+  "CMakeFiles/spmvm_core.dir/spmmv.cpp.o.d"
+  "CMakeFiles/spmvm_core.dir/to_csr.cpp.o"
+  "CMakeFiles/spmvm_core.dir/to_csr.cpp.o.d"
+  "libspmvm_core.a"
+  "libspmvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/cluster_model.cpp" "src/dist/CMakeFiles/spmvm_dist.dir/cluster_model.cpp.o" "gcc" "src/dist/CMakeFiles/spmvm_dist.dir/cluster_model.cpp.o.d"
+  "/root/repo/src/dist/comm_stats.cpp" "src/dist/CMakeFiles/spmvm_dist.dir/comm_stats.cpp.o" "gcc" "src/dist/CMakeFiles/spmvm_dist.dir/comm_stats.cpp.o.d"
+  "/root/repo/src/dist/dist_matrix.cpp" "src/dist/CMakeFiles/spmvm_dist.dir/dist_matrix.cpp.o" "gcc" "src/dist/CMakeFiles/spmvm_dist.dir/dist_matrix.cpp.o.d"
+  "/root/repo/src/dist/dist_solver.cpp" "src/dist/CMakeFiles/spmvm_dist.dir/dist_solver.cpp.o" "gcc" "src/dist/CMakeFiles/spmvm_dist.dir/dist_solver.cpp.o.d"
+  "/root/repo/src/dist/partition.cpp" "src/dist/CMakeFiles/spmvm_dist.dir/partition.cpp.o" "gcc" "src/dist/CMakeFiles/spmvm_dist.dir/partition.cpp.o.d"
+  "/root/repo/src/dist/spmv_modes.cpp" "src/dist/CMakeFiles/spmvm_dist.dir/spmv_modes.cpp.o" "gcc" "src/dist/CMakeFiles/spmvm_dist.dir/spmv_modes.cpp.o.d"
+  "/root/repo/src/dist/timeline.cpp" "src/dist/CMakeFiles/spmvm_dist.dir/timeline.cpp.o" "gcc" "src/dist/CMakeFiles/spmvm_dist.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/spmvm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/spmvm_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/spmvm_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spmvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spmvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvm_dist.dir/cluster_model.cpp.o"
+  "CMakeFiles/spmvm_dist.dir/cluster_model.cpp.o.d"
+  "CMakeFiles/spmvm_dist.dir/comm_stats.cpp.o"
+  "CMakeFiles/spmvm_dist.dir/comm_stats.cpp.o.d"
+  "CMakeFiles/spmvm_dist.dir/dist_matrix.cpp.o"
+  "CMakeFiles/spmvm_dist.dir/dist_matrix.cpp.o.d"
+  "CMakeFiles/spmvm_dist.dir/dist_solver.cpp.o"
+  "CMakeFiles/spmvm_dist.dir/dist_solver.cpp.o.d"
+  "CMakeFiles/spmvm_dist.dir/partition.cpp.o"
+  "CMakeFiles/spmvm_dist.dir/partition.cpp.o.d"
+  "CMakeFiles/spmvm_dist.dir/spmv_modes.cpp.o"
+  "CMakeFiles/spmvm_dist.dir/spmv_modes.cpp.o.d"
+  "CMakeFiles/spmvm_dist.dir/timeline.cpp.o"
+  "CMakeFiles/spmvm_dist.dir/timeline.cpp.o.d"
+  "libspmvm_dist.a"
+  "libspmvm_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvm_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

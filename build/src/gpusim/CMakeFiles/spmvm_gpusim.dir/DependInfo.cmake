@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/coalescing.cpp" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/coalescing.cpp.o" "gcc" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/coalescing.cpp.o.d"
+  "/root/repo/src/gpusim/cpu_node.cpp" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/cpu_node.cpp.o" "gcc" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/cpu_node.cpp.o.d"
+  "/root/repo/src/gpusim/device_runtime.cpp" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/device_runtime.cpp.o" "gcc" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/device_runtime.cpp.o.d"
+  "/root/repo/src/gpusim/device_spec.cpp" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/device_spec.cpp.o" "gcc" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/device_spec.cpp.o.d"
+  "/root/repo/src/gpusim/gpu_spmv.cpp" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/gpu_spmv.cpp.o" "gcc" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/gpu_spmv.cpp.o.d"
+  "/root/repo/src/gpusim/kernel_sim.cpp" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/kernel_sim.cpp.o" "gcc" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/kernel_sim.cpp.o.d"
+  "/root/repo/src/gpusim/l2_cache.cpp" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/l2_cache.cpp.o" "gcc" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/l2_cache.cpp.o.d"
+  "/root/repo/src/gpusim/pcie.cpp" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/pcie.cpp.o" "gcc" "src/gpusim/CMakeFiles/spmvm_gpusim.dir/pcie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spmvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/spmvm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spmvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvm_gpusim.dir/coalescing.cpp.o"
+  "CMakeFiles/spmvm_gpusim.dir/coalescing.cpp.o.d"
+  "CMakeFiles/spmvm_gpusim.dir/cpu_node.cpp.o"
+  "CMakeFiles/spmvm_gpusim.dir/cpu_node.cpp.o.d"
+  "CMakeFiles/spmvm_gpusim.dir/device_runtime.cpp.o"
+  "CMakeFiles/spmvm_gpusim.dir/device_runtime.cpp.o.d"
+  "CMakeFiles/spmvm_gpusim.dir/device_spec.cpp.o"
+  "CMakeFiles/spmvm_gpusim.dir/device_spec.cpp.o.d"
+  "CMakeFiles/spmvm_gpusim.dir/gpu_spmv.cpp.o"
+  "CMakeFiles/spmvm_gpusim.dir/gpu_spmv.cpp.o.d"
+  "CMakeFiles/spmvm_gpusim.dir/kernel_sim.cpp.o"
+  "CMakeFiles/spmvm_gpusim.dir/kernel_sim.cpp.o.d"
+  "CMakeFiles/spmvm_gpusim.dir/l2_cache.cpp.o"
+  "CMakeFiles/spmvm_gpusim.dir/l2_cache.cpp.o.d"
+  "CMakeFiles/spmvm_gpusim.dir/pcie.cpp.o"
+  "CMakeFiles/spmvm_gpusim.dir/pcie.cpp.o.d"
+  "libspmvm_gpusim.a"
+  "libspmvm_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvm_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

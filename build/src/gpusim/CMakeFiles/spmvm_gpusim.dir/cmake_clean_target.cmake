@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspmvm_gpusim.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matgen/general.cpp" "src/matgen/CMakeFiles/spmvm_matgen.dir/general.cpp.o" "gcc" "src/matgen/CMakeFiles/spmvm_matgen.dir/general.cpp.o.d"
+  "/root/repo/src/matgen/paper_matrices.cpp" "src/matgen/CMakeFiles/spmvm_matgen.dir/paper_matrices.cpp.o" "gcc" "src/matgen/CMakeFiles/spmvm_matgen.dir/paper_matrices.cpp.o.d"
+  "/root/repo/src/matgen/suite.cpp" "src/matgen/CMakeFiles/spmvm_matgen.dir/suite.cpp.o" "gcc" "src/matgen/CMakeFiles/spmvm_matgen.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/spmvm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spmvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

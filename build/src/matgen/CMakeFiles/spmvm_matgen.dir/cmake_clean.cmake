@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvm_matgen.dir/general.cpp.o"
+  "CMakeFiles/spmvm_matgen.dir/general.cpp.o.d"
+  "CMakeFiles/spmvm_matgen.dir/paper_matrices.cpp.o"
+  "CMakeFiles/spmvm_matgen.dir/paper_matrices.cpp.o.d"
+  "CMakeFiles/spmvm_matgen.dir/suite.cpp.o"
+  "CMakeFiles/spmvm_matgen.dir/suite.cpp.o.d"
+  "libspmvm_matgen.a"
+  "libspmvm_matgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvm_matgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvm_msg.dir/runtime.cpp.o"
+  "CMakeFiles/spmvm_msg.dir/runtime.cpp.o.d"
+  "libspmvm_msg.a"
+  "libspmvm_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvm_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvm_perfmodel.dir/balance.cpp.o"
+  "CMakeFiles/spmvm_perfmodel.dir/balance.cpp.o.d"
+  "CMakeFiles/spmvm_perfmodel.dir/model_eval.cpp.o"
+  "CMakeFiles/spmvm_perfmodel.dir/model_eval.cpp.o.d"
+  "CMakeFiles/spmvm_perfmodel.dir/pcie_impact.cpp.o"
+  "CMakeFiles/spmvm_perfmodel.dir/pcie_impact.cpp.o.d"
+  "libspmvm_perfmodel.a"
+  "libspmvm_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvm_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/bicgstab.cpp" "src/solver/CMakeFiles/spmvm_solver.dir/bicgstab.cpp.o" "gcc" "src/solver/CMakeFiles/spmvm_solver.dir/bicgstab.cpp.o.d"
+  "/root/repo/src/solver/cg.cpp" "src/solver/CMakeFiles/spmvm_solver.dir/cg.cpp.o" "gcc" "src/solver/CMakeFiles/spmvm_solver.dir/cg.cpp.o.d"
+  "/root/repo/src/solver/lanczos.cpp" "src/solver/CMakeFiles/spmvm_solver.dir/lanczos.cpp.o" "gcc" "src/solver/CMakeFiles/spmvm_solver.dir/lanczos.cpp.o.d"
+  "/root/repo/src/solver/pcg.cpp" "src/solver/CMakeFiles/spmvm_solver.dir/pcg.cpp.o" "gcc" "src/solver/CMakeFiles/spmvm_solver.dir/pcg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spmvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/spmvm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spmvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvm_solver.dir/bicgstab.cpp.o"
+  "CMakeFiles/spmvm_solver.dir/bicgstab.cpp.o.d"
+  "CMakeFiles/spmvm_solver.dir/cg.cpp.o"
+  "CMakeFiles/spmvm_solver.dir/cg.cpp.o.d"
+  "CMakeFiles/spmvm_solver.dir/lanczos.cpp.o"
+  "CMakeFiles/spmvm_solver.dir/lanczos.cpp.o.d"
+  "CMakeFiles/spmvm_solver.dir/pcg.cpp.o"
+  "CMakeFiles/spmvm_solver.dir/pcg.cpp.o.d"
+  "libspmvm_solver.a"
+  "libspmvm_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvm_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

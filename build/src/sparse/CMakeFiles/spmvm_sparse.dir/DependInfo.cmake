@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/bellpack.cpp" "src/sparse/CMakeFiles/spmvm_sparse.dir/bellpack.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvm_sparse.dir/bellpack.cpp.o.d"
+  "/root/repo/src/sparse/convert.cpp" "src/sparse/CMakeFiles/spmvm_sparse.dir/convert.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvm_sparse.dir/convert.cpp.o.d"
+  "/root/repo/src/sparse/coo.cpp" "src/sparse/CMakeFiles/spmvm_sparse.dir/coo.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvm_sparse.dir/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/spmvm_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvm_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/ellpack.cpp" "src/sparse/CMakeFiles/spmvm_sparse.dir/ellpack.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvm_sparse.dir/ellpack.cpp.o.d"
+  "/root/repo/src/sparse/jds.cpp" "src/sparse/CMakeFiles/spmvm_sparse.dir/jds.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvm_sparse.dir/jds.cpp.o.d"
+  "/root/repo/src/sparse/matrix_market.cpp" "src/sparse/CMakeFiles/spmvm_sparse.dir/matrix_market.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvm_sparse.dir/matrix_market.cpp.o.d"
+  "/root/repo/src/sparse/matrix_stats.cpp" "src/sparse/CMakeFiles/spmvm_sparse.dir/matrix_stats.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvm_sparse.dir/matrix_stats.cpp.o.d"
+  "/root/repo/src/sparse/permutation.cpp" "src/sparse/CMakeFiles/spmvm_sparse.dir/permutation.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvm_sparse.dir/permutation.cpp.o.d"
+  "/root/repo/src/sparse/rcm.cpp" "src/sparse/CMakeFiles/spmvm_sparse.dir/rcm.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvm_sparse.dir/rcm.cpp.o.d"
+  "/root/repo/src/sparse/sliced_ell.cpp" "src/sparse/CMakeFiles/spmvm_sparse.dir/sliced_ell.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvm_sparse.dir/sliced_ell.cpp.o.d"
+  "/root/repo/src/sparse/spmv_host.cpp" "src/sparse/CMakeFiles/spmvm_sparse.dir/spmv_host.cpp.o" "gcc" "src/sparse/CMakeFiles/spmvm_sparse.dir/spmv_host.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spmvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

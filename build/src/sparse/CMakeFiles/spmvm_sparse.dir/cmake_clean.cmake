@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvm_sparse.dir/bellpack.cpp.o"
+  "CMakeFiles/spmvm_sparse.dir/bellpack.cpp.o.d"
+  "CMakeFiles/spmvm_sparse.dir/convert.cpp.o"
+  "CMakeFiles/spmvm_sparse.dir/convert.cpp.o.d"
+  "CMakeFiles/spmvm_sparse.dir/coo.cpp.o"
+  "CMakeFiles/spmvm_sparse.dir/coo.cpp.o.d"
+  "CMakeFiles/spmvm_sparse.dir/csr.cpp.o"
+  "CMakeFiles/spmvm_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/spmvm_sparse.dir/ellpack.cpp.o"
+  "CMakeFiles/spmvm_sparse.dir/ellpack.cpp.o.d"
+  "CMakeFiles/spmvm_sparse.dir/jds.cpp.o"
+  "CMakeFiles/spmvm_sparse.dir/jds.cpp.o.d"
+  "CMakeFiles/spmvm_sparse.dir/matrix_market.cpp.o"
+  "CMakeFiles/spmvm_sparse.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/spmvm_sparse.dir/matrix_stats.cpp.o"
+  "CMakeFiles/spmvm_sparse.dir/matrix_stats.cpp.o.d"
+  "CMakeFiles/spmvm_sparse.dir/permutation.cpp.o"
+  "CMakeFiles/spmvm_sparse.dir/permutation.cpp.o.d"
+  "CMakeFiles/spmvm_sparse.dir/rcm.cpp.o"
+  "CMakeFiles/spmvm_sparse.dir/rcm.cpp.o.d"
+  "CMakeFiles/spmvm_sparse.dir/sliced_ell.cpp.o"
+  "CMakeFiles/spmvm_sparse.dir/sliced_ell.cpp.o.d"
+  "CMakeFiles/spmvm_sparse.dir/spmv_host.cpp.o"
+  "CMakeFiles/spmvm_sparse.dir/spmv_host.cpp.o.d"
+  "libspmvm_sparse.a"
+  "libspmvm_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvm_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

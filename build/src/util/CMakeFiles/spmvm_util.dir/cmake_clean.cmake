@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmvm_util.dir/ascii.cpp.o"
+  "CMakeFiles/spmvm_util.dir/ascii.cpp.o.d"
+  "CMakeFiles/spmvm_util.dir/histogram.cpp.o"
+  "CMakeFiles/spmvm_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/spmvm_util.dir/rng.cpp.o"
+  "CMakeFiles/spmvm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/spmvm_util.dir/stats.cpp.o"
+  "CMakeFiles/spmvm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/spmvm_util.dir/timer.cpp.o"
+  "CMakeFiles/spmvm_util.dir/timer.cpp.o.d"
+  "libspmvm_util.a"
+  "libspmvm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmvm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

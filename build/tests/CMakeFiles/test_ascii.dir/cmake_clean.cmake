@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ascii.dir/test_ascii.cpp.o"
+  "CMakeFiles/test_ascii.dir/test_ascii.cpp.o.d"
+  "test_ascii"
+  "test_ascii.pdb"
+  "test_ascii[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ascii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

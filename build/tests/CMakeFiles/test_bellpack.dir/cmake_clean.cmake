@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bellpack.dir/test_bellpack.cpp.o"
+  "CMakeFiles/test_bellpack.dir/test_bellpack.cpp.o.d"
+  "test_bellpack"
+  "test_bellpack.pdb"
+  "test_bellpack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bellpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_model.dir/test_cluster_model.cpp.o"
+  "CMakeFiles/test_cluster_model.dir/test_cluster_model.cpp.o.d"
+  "test_cluster_model"
+  "test_cluster_model.pdb"
+  "test_cluster_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

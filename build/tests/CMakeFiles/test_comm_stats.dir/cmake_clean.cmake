@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_stats.dir/test_comm_stats.cpp.o"
+  "CMakeFiles/test_comm_stats.dir/test_comm_stats.cpp.o.d"
+  "test_comm_stats"
+  "test_comm_stats.pdb"
+  "test_comm_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_spec.dir/test_device_spec.cpp.o"
+  "CMakeFiles/test_device_spec.dir/test_device_spec.cpp.o.d"
+  "test_device_spec"
+  "test_device_spec.pdb"
+  "test_device_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

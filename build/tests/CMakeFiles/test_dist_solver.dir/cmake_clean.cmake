@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_solver.dir/test_dist_solver.cpp.o"
+  "CMakeFiles/test_dist_solver.dir/test_dist_solver.cpp.o.d"
+  "test_dist_solver"
+  "test_dist_solver.pdb"
+  "test_dist_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_spmv.dir/test_dist_spmv.cpp.o"
+  "CMakeFiles/test_dist_spmv.dir/test_dist_spmv.cpp.o.d"
+  "test_dist_spmv"
+  "test_dist_spmv.pdb"
+  "test_dist_spmv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

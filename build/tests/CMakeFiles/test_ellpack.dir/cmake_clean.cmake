@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ellpack.dir/test_ellpack.cpp.o"
+  "CMakeFiles/test_ellpack.dir/test_ellpack.cpp.o.d"
+  "test_ellpack"
+  "test_ellpack.pdb"
+  "test_ellpack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ellpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ellr_t.dir/test_ellr_t.cpp.o"
+  "CMakeFiles/test_ellr_t.dir/test_ellr_t.cpp.o.d"
+  "test_ellr_t"
+  "test_ellr_t.pdb"
+  "test_ellr_t[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ellr_t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

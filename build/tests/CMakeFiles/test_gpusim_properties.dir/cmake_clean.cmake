@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpusim_properties.dir/test_gpusim_properties.cpp.o"
+  "CMakeFiles/test_gpusim_properties.dir/test_gpusim_properties.cpp.o.d"
+  "test_gpusim_properties"
+  "test_gpusim_properties.pdb"
+  "test_gpusim_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpusim_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jds.dir/test_jds.cpp.o"
+  "CMakeFiles/test_jds.dir/test_jds.cpp.o.d"
+  "test_jds"
+  "test_jds.pdb"
+  "test_jds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_sim_ext.dir/test_kernel_sim_ext.cpp.o"
+  "CMakeFiles/test_kernel_sim_ext.dir/test_kernel_sim_ext.cpp.o.d"
+  "test_kernel_sim_ext"
+  "test_kernel_sim_ext.pdb"
+  "test_kernel_sim_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_sim_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcie_cpu.dir/test_pcie_cpu.cpp.o"
+  "CMakeFiles/test_pcie_cpu.dir/test_pcie_cpu.cpp.o.d"
+  "test_pcie_cpu"
+  "test_pcie_cpu.pdb"
+  "test_pcie_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcie_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pjds.dir/test_pjds.cpp.o"
+  "CMakeFiles/test_pjds.dir/test_pjds.cpp.o.d"
+  "test_pjds"
+  "test_pjds.pdb"
+  "test_pjds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pjds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pjds_spmv.dir/test_pjds_spmv.cpp.o"
+  "CMakeFiles/test_pjds_spmv.dir/test_pjds_spmv.cpp.o.d"
+  "test_pjds_spmv"
+  "test_pjds_spmv.pdb"
+  "test_pjds_spmv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pjds_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

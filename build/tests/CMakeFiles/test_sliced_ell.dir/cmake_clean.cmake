@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sliced_ell.dir/test_sliced_ell.cpp.o"
+  "CMakeFiles/test_sliced_ell.dir/test_sliced_ell.cpp.o.d"
+  "test_sliced_ell"
+  "test_sliced_ell.pdb"
+  "test_sliced_ell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sliced_ell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

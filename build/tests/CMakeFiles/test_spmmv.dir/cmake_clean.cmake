@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmmv.dir/test_spmmv.cpp.o"
+  "CMakeFiles/test_spmmv.dir/test_spmmv.cpp.o.d"
+  "test_spmmv"
+  "test_spmmv.pdb"
+  "test_spmmv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmv_host.dir/test_spmv_host.cpp.o"
+  "CMakeFiles/test_spmv_host.dir/test_spmv_host.cpp.o.d"
+  "test_spmv_host"
+  "test_spmv_host.pdb"
+  "test_spmv_host[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmv_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_to_csr.dir/test_to_csr.cpp.o"
+  "CMakeFiles/test_to_csr.dir/test_to_csr.cpp.o.d"
+  "test_to_csr"
+  "test_to_csr.pdb"
+  "test_to_csr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_to_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
