@@ -1,9 +1,24 @@
 // google-benchmark microbenchmarks of the *host* spMVM kernels for every
 // storage format (the CPU reference implementations behind the library).
+//
+// Each benchmark reports GF/s (2·nnz flops per product) and the
+// effective memory bandwidth GB/s derived from the format's device
+// footprint (core/footprint) plus one RHS read and one LHS write — the
+// number to compare against the machine's STREAM limit, since spMVM is
+// bandwidth-bound (Eq. 1).
+//
+// The `Seed*` variants re-implement the original fork-join runtime
+// (fresh std::threads spawned per call, equal row-count chunks) and the
+// pre-vectorization row-major kernels, so pooled-vs-fork-join and
+// balanced-vs-static comparisons stay regenerable from this binary
+// alone. Thread counts are swept via ->Arg(n).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <thread>
 #include <vector>
 
+#include "core/footprint.hpp"
 #include "core/pjds_spmv.hpp"
 #include "core/spmmv.hpp"
 #include "matgen/generators.hpp"
@@ -30,22 +45,142 @@ struct Vectors {
         y(static_cast<std::size_t>(a.n_rows)) {}
 };
 
-void report(benchmark::State& state, offset_t nnz) {
-  state.counters["GF/s"] = benchmark::Counter(
-      2.0 * static_cast<double>(nnz) * static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+/// GF/s from true non-zeros; GB/s from the bytes one product streams:
+/// the stored matrix (values + indices + aux arrays) plus RHS and LHS.
+void report(benchmark::State& state, offset_t nnz, std::size_t bytes) {
+  const auto it = static_cast<double>(state.iterations());
+  state.counters["GF/s"] =
+      benchmark::Counter(2.0 * static_cast<double>(nnz) * it,
+                         benchmark::Counter::kIsRate,
+                         benchmark::Counter::kIs1000);
+  state.counters["GB/s"] =
+      benchmark::Counter(static_cast<double>(bytes) * it,
+                         benchmark::Counter::kIsRate,
+                         benchmark::Counter::kIs1000);
 }
+
+std::size_t vector_bytes(const Csr<double>& a) {
+  return (static_cast<std::size_t>(a.n_cols) +
+          static_cast<std::size_t>(a.n_rows)) *
+         sizeof(double);
+}
+
+// ---- Seed (pre-pool) runtime and kernels, kept as the comparison
+// ---- baseline for EXPERIMENTS.md.
+namespace seed {
+
+/// The original fork-join parallel_for: spawn + join per call, equal
+/// row-count chunks regardless of nnz.
+template <class Fn>
+void forkjoin_parallel_for(std::size_t n, int n_threads, Fn&& fn) {
+  if (n == 0) return;
+  if (n_threads <= 1 || n < 2) {
+    fn(std::size_t{0}, n);
+    return;
+  }
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(n_threads), n);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    if (begin >= end) break;
+    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& t : pool) t.join();
+}
+
+void spmv_csr(const Csr<double>& a, const std::vector<double>& x,
+              std::vector<double>& y, int n_threads) {
+  forkjoin_parallel_for(
+      static_cast<std::size_t>(a.n_rows), n_threads,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          double acc = 0.0;
+          for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k)
+            acc += a.val[static_cast<std::size_t>(k)] *
+                   x[static_cast<std::size_t>(
+                       a.col_idx[static_cast<std::size_t>(k)])];
+          y[i] = acc;
+        }
+      });
+}
+
+void spmv_sliced_ell(const SlicedEll<double>& a, const std::vector<double>& x,
+                     std::vector<double>& y, int n_threads) {
+  forkjoin_parallel_for(
+      static_cast<std::size_t>(a.n_slices), n_threads,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          const offset_t base = a.slice_ptr[s];
+          for (index_t r = 0; r < a.slice_height; ++r) {
+            const index_t i = static_cast<index_t>(s) * a.slice_height + r;
+            if (i >= a.n_rows) break;
+            double acc = 0.0;
+            const index_t len = a.row_len[static_cast<std::size_t>(i)];
+            for (index_t j = 0; j < len; ++j) {
+              const std::size_t k = static_cast<std::size_t>(
+                  base + static_cast<offset_t>(j) * a.slice_height + r);
+              acc += a.val[k] * x[static_cast<std::size_t>(a.col_idx[k])];
+            }
+            y[static_cast<std::size_t>(i)] = acc;
+          }
+        }
+      });
+}
+
+void spmv_pjds(const Pjds<double>& a, const std::vector<double>& x,
+               std::vector<double>& y, int n_threads) {
+  forkjoin_parallel_for(
+      static_cast<std::size_t>(a.n_rows), n_threads,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          double acc = 0.0;
+          const index_t len = a.row_len[i];
+          for (index_t j = 0; j < len; ++j) {
+            const std::size_t k = static_cast<std::size_t>(
+                a.col_start[static_cast<std::size_t>(j)] +
+                static_cast<offset_t>(i));
+            acc += a.val[k] * x[static_cast<std::size_t>(a.col_idx[k])];
+          }
+          y[i] = acc;
+        }
+      });
+}
+
+}  // namespace seed
+
+// ---- CSR -----------------------------------------------------------------
 
 void BM_SpmvCsr(benchmark::State& state) {
   const auto& a = test_matrix();
+  const int threads = static_cast<int>(state.range(0));
   Vectors v(a);
   for (auto _ : state) {
-    spmv(a, std::span<const double>(v.x), std::span<double>(v.y));
+    spmv(a, std::span<const double>(v.x), std::span<double>(v.y), threads);
     benchmark::DoNotOptimize(v.y.data());
   }
-  report(state, a.nnz());
+  report(state, a.nnz(),
+         footprint(a).total_bytes(sizeof(double)) + vector_bytes(a));
 }
-BENCHMARK(BM_SpmvCsr);
+BENCHMARK(BM_SpmvCsr)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SeedSpmvCsrForkJoin(benchmark::State& state) {
+  const auto& a = test_matrix();
+  const int threads = static_cast<int>(state.range(0));
+  Vectors v(a);
+  for (auto _ : state) {
+    seed::spmv_csr(a, v.x, v.y, threads);
+    benchmark::DoNotOptimize(v.y.data());
+  }
+  report(state, a.nnz(),
+         footprint(a).total_bytes(sizeof(double)) + vector_bytes(a));
+}
+BENCHMARK(BM_SeedSpmvCsrForkJoin)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ---- ELLPACK family ------------------------------------------------------
 
 void BM_SpmvEllpackPlain(benchmark::State& state) {
   const auto& a = test_matrix();
@@ -55,21 +190,25 @@ void BM_SpmvEllpackPlain(benchmark::State& state) {
     spmv_ellpack(e, std::span<const double>(v.x), std::span<double>(v.y));
     benchmark::DoNotOptimize(v.y.data());
   }
-  report(state, a.nnz());
+  report(state, a.nnz(),
+         footprint(e, false).total_bytes(sizeof(double)) + vector_bytes(a));
 }
 BENCHMARK(BM_SpmvEllpackPlain);
 
 void BM_SpmvEllpackR(benchmark::State& state) {
   const auto& a = test_matrix();
+  const int threads = static_cast<int>(state.range(0));
   const auto e = Ellpack<double>::from_csr(a, 32);
   Vectors v(a);
   for (auto _ : state) {
-    spmv_ellpack_r(e, std::span<const double>(v.x), std::span<double>(v.y));
+    spmv_ellpack_r(e, std::span<const double>(v.x), std::span<double>(v.y),
+                   threads);
     benchmark::DoNotOptimize(v.y.data());
   }
-  report(state, a.nnz());
+  report(state, a.nnz(),
+         footprint(e, true).total_bytes(sizeof(double)) + vector_bytes(a));
 }
-BENCHMARK(BM_SpmvEllpackR);
+BENCHMARK(BM_SpmvEllpackR)->Arg(1)->Arg(4);
 
 void BM_SpmvJds(benchmark::State& state) {
   const auto& a = test_matrix();
@@ -79,23 +218,76 @@ void BM_SpmvJds(benchmark::State& state) {
     spmv(j, std::span<const double>(v.x), std::span<double>(v.y));
     benchmark::DoNotOptimize(v.y.data());
   }
-  report(state, a.nnz());
+  report(state, a.nnz(),
+         footprint(j).total_bytes(sizeof(double)) + vector_bytes(a));
 }
 BENCHMARK(BM_SpmvJds);
 
+// ---- sliced ELLPACK ------------------------------------------------------
+
 void BM_SpmvSlicedEll(benchmark::State& state) {
   const auto& a = test_matrix();
+  const int threads = static_cast<int>(state.range(0));
   const auto s = SlicedEll<double>::from_csr(a, 32);
   Vectors v(a);
   for (auto _ : state) {
-    spmv(s, std::span<const double>(v.x), std::span<double>(v.y));
+    spmv(s, std::span<const double>(v.x), std::span<double>(v.y), threads);
     benchmark::DoNotOptimize(v.y.data());
   }
-  report(state, a.nnz());
+  report(state, a.nnz(),
+         footprint(s).total_bytes(sizeof(double)) + vector_bytes(a));
 }
-BENCHMARK(BM_SpmvSlicedEll);
+BENCHMARK(BM_SpmvSlicedEll)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SeedSpmvSlicedEllForkJoin(benchmark::State& state) {
+  const auto& a = test_matrix();
+  const int threads = static_cast<int>(state.range(0));
+  const auto s = SlicedEll<double>::from_csr(a, 32);
+  Vectors v(a);
+  for (auto _ : state) {
+    seed::spmv_sliced_ell(s, v.x, v.y, threads);
+    benchmark::DoNotOptimize(v.y.data());
+  }
+  report(state, a.nnz(),
+         footprint(s).total_bytes(sizeof(double)) + vector_bytes(a));
+}
+BENCHMARK(BM_SeedSpmvSlicedEllForkJoin)->Arg(1)->Arg(4);
+
+// ---- pJDS ----------------------------------------------------------------
 
 void BM_SpmvPjds(benchmark::State& state) {
+  const auto& a = test_matrix();
+  const int threads = static_cast<int>(state.range(0));
+  PjdsOptions opt;
+  opt.block_rows = 32;
+  const auto p = Pjds<double>::from_csr(a, opt);
+  Vectors v(a);
+  for (auto _ : state) {
+    spmv(p, std::span<const double>(v.x), std::span<double>(v.y), threads);
+    benchmark::DoNotOptimize(v.y.data());
+  }
+  report(state, a.nnz(),
+         footprint(p).total_bytes(sizeof(double)) + vector_bytes(a));
+}
+BENCHMARK(BM_SpmvPjds)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SeedSpmvPjdsForkJoin(benchmark::State& state) {
+  const auto& a = test_matrix();
+  const int threads = static_cast<int>(state.range(0));
+  PjdsOptions opt;
+  opt.block_rows = 32;
+  const auto p = Pjds<double>::from_csr(a, opt);
+  Vectors v(a);
+  for (auto _ : state) {
+    seed::spmv_pjds(p, v.x, v.y, threads);
+    benchmark::DoNotOptimize(v.y.data());
+  }
+  report(state, a.nnz(),
+         footprint(p).total_bytes(sizeof(double)) + vector_bytes(a));
+}
+BENCHMARK(BM_SeedSpmvPjdsForkJoin)->Arg(1)->Arg(4);
+
+void BM_SpmvPjdsBlockRows(benchmark::State& state) {
   const auto& a = test_matrix();
   PjdsOptions opt;
   opt.block_rows = static_cast<index_t>(state.range(0));
@@ -105,22 +297,32 @@ void BM_SpmvPjds(benchmark::State& state) {
     spmv(p, std::span<const double>(v.x), std::span<double>(v.y));
     benchmark::DoNotOptimize(v.y.data());
   }
-  report(state, a.nnz());
+  report(state, a.nnz(),
+         footprint(p).total_bytes(sizeof(double)) + vector_bytes(a));
 }
-BENCHMARK(BM_SpmvPjds)->Arg(1)->Arg(32)->Arg(128);
+BENCHMARK(BM_SpmvPjdsBlockRows)->Arg(1)->Arg(32)->Arg(128);
+
+// ---- multi-vector --------------------------------------------------------
 
 void BM_SpmmvCsr(benchmark::State& state) {
   const auto& a = test_matrix();
   const int k = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
   std::vector<double> x(static_cast<std::size_t>(a.n_cols) * k, 1.0);
   std::vector<double> y(static_cast<std::size_t>(a.n_rows) * k);
   for (auto _ : state) {
-    spmmv(a, std::span<const double>(x), std::span<double>(y), k);
+    spmmv(a, std::span<const double>(x), std::span<double>(y), k, threads);
     benchmark::DoNotOptimize(y.data());
   }
-  report(state, a.nnz() * k);
+  report(state, a.nnz() * k,
+         footprint(a).total_bytes(sizeof(double)) +
+             static_cast<std::size_t>(k) * vector_bytes(a));
 }
-BENCHMARK(BM_SpmmvCsr)->Arg(1)->Arg(4)->Arg(8);
+BENCHMARK(BM_SpmmvCsr)
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({4, 4});
 
 void BM_PjdsBuild(benchmark::State& state) {
   const auto& a = test_matrix();

@@ -124,7 +124,25 @@ void Pjds<T>::validate() const {
                   "diagonal length must be a block multiple");
 }
 
+template <class T>
+std::vector<offset_t> block_offsets(const Pjds<T>& a) {
+  const index_t n_blocks =
+      a.block_rows > 0 ? a.padded_rows / a.block_rows : 0;
+  std::vector<offset_t> off(static_cast<std::size_t>(n_blocks) + 1, 0);
+  for (index_t b = 0; b < n_blocks; ++b) {
+    const index_t first = b * a.block_rows;
+    const index_t width =
+        first < a.n_rows ? a.row_len[static_cast<std::size_t>(first)] : 0;
+    off[static_cast<std::size_t>(b) + 1] =
+        off[static_cast<std::size_t>(b)] +
+        static_cast<offset_t>(width) * a.block_rows;
+  }
+  return off;
+}
+
 template struct Pjds<float>;
 template struct Pjds<double>;
+template std::vector<offset_t> block_offsets(const Pjds<float>&);
+template std::vector<offset_t> block_offsets(const Pjds<double>&);
 
 }  // namespace spmvm

@@ -71,7 +71,18 @@ struct Pjds {
   void validate() const;
 };
 
+/// Stored-entry prefix over the br-row padding blocks (padded_rows /
+/// block_rows + 1 entries): block b's jagged-diagonal entries add up to
+/// block_offsets[b+1] - block_offsets[b] stored scalars. This is the
+/// offsets array the nnz-balanced host scheduler partitions, since
+/// thread boundaries must fall on block boundaries to keep the
+/// diagonal-major kernel's ranges contiguous.
+template <class T>
+std::vector<offset_t> block_offsets(const Pjds<T>& a);
+
 extern template struct Pjds<float>;
 extern template struct Pjds<double>;
+extern template std::vector<offset_t> block_offsets(const Pjds<float>&);
+extern template std::vector<offset_t> block_offsets(const Pjds<double>&);
 
 }  // namespace spmvm

@@ -1,20 +1,26 @@
 #include "core/spmmv.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
 namespace spmvm {
 
 namespace {
+// The k-interleaved stride contract: X stores x[i*k + v] (row-major by
+// vector index), so both the block width and the span sizes must be
+// consistent before any i*k indexing happens — a non-positive k would
+// otherwise silently alias rows.
 void check_block(index_t n_rows, index_t n_cols, std::size_t x_size,
                  std::size_t y_size, int k) {
-  SPMVM_REQUIRE(k >= 1, "block width must be >= 1");
+  SPMVM_REQUIRE(k >= 1, "spMMV block width k must be >= 1");
   SPMVM_REQUIRE(x_size >= static_cast<std::size_t>(n_cols) *
                               static_cast<std::size_t>(k),
-                "input block too small");
+                "input block too small for k interleaved vectors");
   SPMVM_REQUIRE(y_size >= static_cast<std::size_t>(n_rows) *
                               static_cast<std::size_t>(k),
-                "output block too small");
+                "output block too small for k interleaved vectors");
 }
 }  // namespace
 
@@ -23,24 +29,24 @@ void spmmv(const Csr<T>& a, std::span<const T> x, std::span<T> y, int k,
            int n_threads) {
   check_block(a.n_rows, a.n_cols, x.size(), y.size(), k);
   const auto kk = static_cast<std::size_t>(k);
-  parallel_for(static_cast<std::size_t>(a.n_rows), n_threads,
-               [&](std::size_t begin, std::size_t end) {
-                 for (std::size_t i = begin; i < end; ++i) {
-                   T* out = y.data() + i * kk;
-                   for (std::size_t v = 0; v < kk; ++v) out[v] = T{0};
-                   for (offset_t p = a.row_ptr[i]; p < a.row_ptr[i + 1];
-                        ++p) {
-                     const T av = a.val[static_cast<std::size_t>(p)];
-                     const T* in =
-                         x.data() +
-                         static_cast<std::size_t>(
-                             a.col_idx[static_cast<std::size_t>(p)]) *
-                             kk;
-                     for (std::size_t v = 0; v < kk; ++v)
-                       out[v] += av * in[v];
-                   }
-                 }
-               });
+  parallel_for_balanced(
+      std::span<const offset_t>(a.row_ptr), n_threads,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          T* __restrict out = y.data() + i * kk;
+          for (std::size_t v = 0; v < kk; ++v) out[v] = T{0};
+          for (offset_t p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+            const T av = a.val[static_cast<std::size_t>(p)];
+            const T* __restrict in =
+                x.data() +
+                static_cast<std::size_t>(
+                    a.col_idx[static_cast<std::size_t>(p)]) *
+                    kk;
+#pragma omp simd
+            for (std::size_t v = 0; v < kk; ++v) out[v] += av * in[v];
+          }
+        }
+      });
 }
 
 template <class T>
@@ -48,23 +54,38 @@ void spmmv(const Pjds<T>& a, std::span<const T> x, std::span<T> y, int k,
            int n_threads) {
   check_block(a.n_rows, a.n_cols, x.size(), y.size(), k);
   const auto kk = static_cast<std::size_t>(k);
-  parallel_for(
-      static_cast<std::size_t>(a.n_rows), n_threads,
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          T* out = y.data() + i * kk;
-          for (std::size_t v = 0; v < kk; ++v) out[v] = T{0};
-          const index_t len = a.row_len[i];
-          for (index_t j = 0; j < len; ++j) {
-            const std::size_t p = static_cast<std::size_t>(
-                a.col_start[static_cast<std::size_t>(j)] +
-                static_cast<offset_t>(i));
-            const T av = a.val[p];
-            const T* in =
-                x.data() + static_cast<std::size_t>(a.col_idx[p]) * kk;
-            for (std::size_t v = 0; v < kk; ++v) out[v] += av * in[v];
-          }
-        }
+  auto rows = [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      T* __restrict out = y.data() + i * kk;
+      for (std::size_t v = 0; v < kk; ++v) out[v] = T{0};
+      const index_t len = a.row_len[i];
+      for (index_t j = 0; j < len; ++j) {
+        const std::size_t p = static_cast<std::size_t>(
+            a.col_start[static_cast<std::size_t>(j)] +
+            static_cast<offset_t>(i));
+        const T av = a.val[p];
+        const T* __restrict in =
+            x.data() + static_cast<std::size_t>(a.col_idx[p]) * kk;
+#pragma omp simd
+        for (std::size_t v = 0; v < kk; ++v) out[v] += av * in[v];
+      }
+    }
+  };
+  if (n_threads <= 1 || a.n_rows < 2) {
+    rows(0, static_cast<std::size_t>(a.n_rows));
+    return;
+  }
+  // Balance on stored entries per padding block; thread boundaries land
+  // on block boundaries, matching the format's layout granularity.
+  const auto boff = block_offsets(a);
+  parallel_for_balanced(
+      std::span<const offset_t>(boff), n_threads,
+      [&](std::size_t bb, std::size_t be) {
+        const std::size_t rb = bb * static_cast<std::size_t>(a.block_rows);
+        const std::size_t re =
+            std::min(be * static_cast<std::size_t>(a.block_rows),
+                     static_cast<std::size_t>(a.n_rows));
+        if (rb < re) rows(rb, re);
       });
 }
 

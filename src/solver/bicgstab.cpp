@@ -13,8 +13,9 @@ BicgstabResult bicgstab(const Operator<T>& a, std::span<const T> b,
   const auto n = static_cast<std::size_t>(a.size());
   std::vector<T> r(n), r0(n), p(n), v(n), s(n), t(n);
 
-  a.apply(x, std::span<T>(v));
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - v[i];
+  // r = b - A x0 in one fused matrix pass.
+  copy<T>(b, r);
+  a.apply_axpby(x, std::span<T>(r), T{-1}, T{1});
   copy<T>(r, r0);
   copy<T>(r, p);
 

@@ -12,9 +12,9 @@ CgResult cg(const Operator<T>& a, std::span<const T> b, std::span<T> x,
   const auto n = static_cast<std::size_t>(a.size());
   std::vector<T> r(n), p(n), ap(n);
 
-  // r = b - A x0; p = r.
-  a.apply(x, std::span<T>(ap));
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  // r = b - A x0 in one fused matrix pass; p = r.
+  copy<T>(b, r);
+  a.apply_axpby(x, std::span<T>(r), T{-1}, T{1});
   copy<T>(r, p);
 
   const double bnorm = norm2<T>(b);

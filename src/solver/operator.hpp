@@ -2,15 +2,21 @@
 // factories for every storage format. The pJDS factory keeps the solver
 // entirely in the permuted basis — the paper's recommended usage, where
 // permutation happens only before and after the iteration (Sec. II-A).
+//
+// Operators also expose the fused update y = β·y + α·A·x; formats with a
+// native spmv_axpby kernel do it in one matrix pass, everything else
+// falls back to apply + a BLAS-1 sweep over an internal scratch vector.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "core/pjds.hpp"
 #include "core/pjds_spmv.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/sliced_ell.hpp"
 #include "sparse/spmv_host.hpp"
 #include "util/error.hpp"
 
@@ -20,23 +26,48 @@ template <class T>
 class Operator {
  public:
   using ApplyFn = std::function<void(std::span<const T>, std::span<T>)>;
+  using ApplyAxpbyFn =
+      std::function<void(std::span<const T>, std::span<T>, T, T)>;
 
-  Operator(index_t n, ApplyFn fn) : n_(n), fn_(std::move(fn)) {
+  Operator(index_t n, ApplyFn fn, ApplyAxpbyFn axpby = nullptr)
+      : n_(n), fn_(std::move(fn)), axpby_(std::move(axpby)) {
     SPMVM_REQUIRE(n >= 0, "operator size must be >= 0");
   }
 
   index_t size() const { return n_; }
 
   void apply(std::span<const T> x, std::span<T> y) const {
-    SPMVM_REQUIRE(x.size() >= static_cast<std::size_t>(n_) &&
-                      y.size() >= static_cast<std::size_t>(n_),
-                  "operator vectors too small");
+    check_spans(x, y);
     fn_(x, y);
   }
 
+  /// y = beta*y + alpha*A·x in one pass when the format supports it.
+  /// The fallback path reuses an internal scratch vector, so concurrent
+  /// apply_axpby calls on the same Operator are not safe.
+  void apply_axpby(std::span<const T> x, std::span<T> y, T alpha,
+                   T beta) const {
+    check_spans(x, y);
+    if (axpby_) {
+      axpby_(x, y, alpha, beta);
+      return;
+    }
+    scratch_.resize(static_cast<std::size_t>(n_));
+    fn_(x, std::span<T>(scratch_));
+    for (std::size_t i = 0; i < scratch_.size(); ++i)
+      y[i] = beta * y[i] + alpha * scratch_[i];
+  }
+
  private:
+  void check_spans(std::span<const T> x, std::span<T> y) const {
+    SPMVM_REQUIRE(x.size() >= static_cast<std::size_t>(n_) &&
+                      y.size() >= static_cast<std::size_t>(n_),
+                  "operator vectors too small");
+  }
+
   index_t n_;
   ApplyFn fn_;
+  ApplyAxpbyFn axpby_;
+  mutable std::vector<T> scratch_;
 };
 
 /// Operator over a CSR matrix (kept alive by shared ownership).
@@ -44,9 +75,14 @@ template <class T>
 Operator<T> make_operator(std::shared_ptr<const Csr<T>> a, int n_threads = 1) {
   SPMVM_REQUIRE(a->n_rows == a->n_cols, "solvers need a square operator");
   const index_t n = a->n_rows;
-  return Operator<T>(n, [a, n_threads](std::span<const T> x, std::span<T> y) {
-    spmv(*a, x, y, n_threads);
-  });
+  return Operator<T>(
+      n,
+      [a, n_threads](std::span<const T> x, std::span<T> y) {
+        spmv(*a, x, y, n_threads);
+      },
+      [a, n_threads](std::span<const T> x, std::span<T> y, T alpha, T beta) {
+        spmv_axpby(*a, x, y, alpha, beta, n_threads);
+      });
 }
 
 /// Operator over a pJDS matrix, applied in the *permuted* basis: x and y
@@ -58,9 +94,34 @@ Operator<T> make_permuted_operator(std::shared_ptr<const Pjds<T>> a,
   SPMVM_REQUIRE(a->columns_permuted,
                 "permuted-basis solver needs PermuteColumns::yes");
   const index_t n = a->n_rows;
-  return Operator<T>(n, [a, n_threads](std::span<const T> x, std::span<T> y) {
-    spmv(*a, x, y, n_threads);
-  });
+  return Operator<T>(
+      n,
+      [a, n_threads](std::span<const T> x, std::span<T> y) {
+        spmv(*a, x, y, n_threads);
+      },
+      [a, n_threads](std::span<const T> x, std::span<T> y, T alpha, T beta) {
+        spmv_axpby(*a, x, y, alpha, beta, n_threads);
+      });
+}
+
+/// Operator over a sliced-ELLPACK matrix in its row-sorted basis. With
+/// σ == 1 the permutation is the identity and this is the plain basis;
+/// σ > 1 requires symmetric column relabeling (PermuteColumns::yes).
+template <class T>
+Operator<T> make_permuted_operator(std::shared_ptr<const SlicedEll<T>> a,
+                                   int n_threads = 1) {
+  SPMVM_REQUIRE(a->n_rows == a->n_cols, "solvers need a square operator");
+  SPMVM_REQUIRE(a->sort_window == 1 || a->columns_permuted,
+                "permuted-basis solver needs PermuteColumns::yes");
+  const index_t n = a->n_rows;
+  return Operator<T>(
+      n,
+      [a, n_threads](std::span<const T> x, std::span<T> y) {
+        spmv(*a, x, y, n_threads);
+      },
+      [a, n_threads](std::span<const T> x, std::span<T> y, T alpha, T beta) {
+        spmv_axpby(*a, x, y, alpha, beta, n_threads);
+      });
 }
 
 }  // namespace spmvm::solver

@@ -29,8 +29,9 @@ CgResult pcg_jacobi(const Operator<T>& a, std::span<const T> diagonal,
                   "Jacobi preconditioner needs a non-zero diagonal");
 
   std::vector<T> r(n), z(n), p(n), ap(n);
-  a.apply(x, std::span<T>(ap));
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  // r = b - A x0 in one fused matrix pass.
+  copy<T>(b, r);
+  a.apply_axpby(x, std::span<T>(r), T{-1}, T{1});
   for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diagonal[i];
   copy<T>(z, p);
 

@@ -21,6 +21,7 @@ SlicedEll<T> SlicedEll<T>::from_csr(const Csr<T>& a, index_t slice_height,
   m.n_slices = (a.n_rows + slice_height - 1) / slice_height;
   m.padded_rows = m.n_slices * slice_height;
   m.nnz = a.nnz();
+  m.columns_permuted = permute_columns == PermuteColumns::yes;
 
   std::vector<index_t> lens(static_cast<std::size_t>(a.n_rows));
   for (index_t i = 0; i < a.n_rows; ++i)

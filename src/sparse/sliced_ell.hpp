@@ -24,6 +24,7 @@ struct SlicedEll {
   index_t padded_rows = 0;  // n_slices * slice_height
   offset_t nnz = 0;
   Permutation perm;  // row order (identity when σ == 1)
+  bool columns_permuted = false;  // built with PermuteColumns::yes?
 
   AlignedVector<offset_t> slice_ptr;  // n_slices + 1; element offsets
   AlignedVector<index_t> row_len;     // padded_rows

@@ -43,10 +43,18 @@ void spmv_ellpack_r(const Ellpack<T>& a, std::span<const T> x, std::span<T> y,
 template <class T>
 void spmv(const Jds<T>& a, std::span<const T> x, std::span<T> y);
 
-/// y_perm = A_perm·x — sliced ELLPACK, slice-by-slice.
+/// y_perm = A_perm·x — sliced ELLPACK, slice-by-slice. The inner loop
+/// runs chunk-column-major across the C (slice height) dimension — the
+/// SELL-C-σ loop order for wide-SIMD CPUs.
 template <class T>
 void spmv(const SlicedEll<T>& a, std::span<const T> x, std::span<T> y,
           int n_threads = 1);
+
+/// y_perm = β·y_perm + α·A_perm·x — fused sliced-ELLPACK update, so
+/// solvers in the permuted basis need no separate BLAS-1 pass.
+template <class T>
+void spmv_axpby(const SlicedEll<T>& a, std::span<const T> x, std::span<T> y,
+                T alpha, T beta, int n_threads = 1);
 
 #define SPMVM_EXTERN_HOST_KERNELS(T)                                        \
   extern template void spmv(const Csr<T>&, std::span<const T>,              \
@@ -60,7 +68,9 @@ void spmv(const SlicedEll<T>& a, std::span<const T> x, std::span<T> y,
   extern template void spmv(const Jds<T>&, std::span<const T>,              \
                             std::span<T>);                                  \
   extern template void spmv(const SlicedEll<T>&, std::span<const T>,        \
-                            std::span<T>, int)
+                            std::span<T>, int);                             \
+  extern template void spmv_axpby(const SlicedEll<T>&, std::span<const T>,  \
+                                  std::span<T>, T, T, int)
 
 SPMVM_EXTERN_HOST_KERNELS(float);
 SPMVM_EXTERN_HOST_KERNELS(double);

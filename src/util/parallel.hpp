@@ -1,38 +1,73 @@
-// Minimal fork-join parallel_for over index ranges (std::thread based).
+// parallel_for over index ranges, backed by the persistent ThreadPool.
 //
-// Host spMVM kernels accept an optional thread count; on a single-core
-// machine this degrades gracefully to the serial path (n_threads <= 1).
+// Host spMVM kernels accept an optional thread count; n_threads <= 1
+// runs inline with no synchronization at all, so single-threaded use
+// (the default everywhere) never touches the pool. Two scheduling
+// policies are offered:
+//  - parallel_for:           static contiguous ranges of equal index count
+//  - parallel_for_balanced:  contiguous ranges of equal *offset mass*
+//    (nnz / stored bytes), computed from a row_ptr/slice_ptr-style
+//    prefix array — the right policy for bandwidth-bound spMVM on
+//    matrices with skewed row-length distributions.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <span>
 #include <thread>
-#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
 
 namespace spmvm {
 
 /// Invoke fn(begin, end) on static contiguous chunks of [0, n) across
 /// `n_threads` threads. fn must be safe to run concurrently on disjoint
-/// ranges. n_threads <= 1 runs inline with no thread creation.
+/// ranges. n_threads <= 1 runs inline with no thread involvement. The
+/// worker count is clamped to n, and the part count is derived from the
+/// chunk size, so no empty or degenerate size-0 chunks are ever created.
 template <class Fn>
 void parallel_for(std::size_t n, int n_threads, Fn&& fn) {
   if (n == 0) return;
+  const std::size_t workers =
+      n_threads <= 1 ? 1
+                     : std::min<std::size_t>(static_cast<std::size_t>(n_threads),
+                                             n);
+  if (workers <= 1) {
+    fn(std::size_t{0}, n);
+    return;
+  }
+  const std::size_t chunk = (n + workers - 1) / workers;
+  const int parts = static_cast<int>((n + chunk - 1) / chunk);
+  ThreadPool::instance().run(parts, [&fn, chunk, n](int p) {
+    const std::size_t begin = static_cast<std::size_t>(p) * chunk;
+    fn(begin, std::min(begin + chunk, n));
+  });
+}
+
+/// Invoke fn(begin, end) on contiguous index ranges of [0, n) where
+/// n = offsets.size() - 1 and `offsets` is a monotone prefix array
+/// (row_ptr, slice_ptr, ...). Ranges are chosen so every thread moves
+/// roughly the same number of stored entries instead of the same number
+/// of rows. Empty ranges (a single row heavier than one share) are
+/// skipped, not delivered to fn.
+template <class Fn>
+void parallel_for_balanced(std::span<const offset_t> offsets, int n_threads,
+                           Fn&& fn) {
+  if (offsets.size() <= 1) return;
+  const std::size_t n = offsets.size() - 1;
   if (n_threads <= 1 || n < 2) {
     fn(std::size_t{0}, n);
     return;
   }
-  const std::size_t workers =
-      std::min<std::size_t>(static_cast<std::size_t>(n_threads), n);
-  const std::size_t chunk = (n + workers - 1) / workers;
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t begin = w * chunk;
-    const std::size_t end = std::min(begin + chunk, n);
-    if (begin >= end) break;
-    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
-  }
-  for (auto& t : pool) t.join();
+  const auto bounds = balanced_partition(
+      offsets, std::min<std::size_t>(static_cast<std::size_t>(n_threads), n));
+  const int parts = static_cast<int>(bounds.size() - 1);
+  ThreadPool::instance().run(parts, [&fn, &bounds](int p) {
+    const std::size_t begin = bounds[static_cast<std::size_t>(p)];
+    const std::size_t end = bounds[static_cast<std::size_t>(p) + 1];
+    if (begin < end) fn(begin, end);
+  });
 }
 
 /// Hardware concurrency with a sane floor of 1.

@@ -1,0 +1,146 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace spmvm {
+
+namespace {
+// Backstop against pathological part counts; real callers clamp the
+// worker count to the iteration count long before this matters.
+constexpr int kMaxPoolWorkers = 256;
+
+thread_local bool g_in_pool_task = false;
+}  // namespace
+
+struct ThreadPool::State {
+  std::mutex submit_mutex;  // serializes concurrent external submissions
+
+  std::mutex m;  // guards everything below
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> workers;
+  std::uint64_t generation = 0;
+  void (*invoke)(void*, int) = nullptr;
+  void* ctx = nullptr;
+  int n_parts = 0;
+  std::atomic<int> next_part{0};
+  int completed = 0;
+  std::exception_ptr first_error;
+  bool stop = false;
+
+  void execute_parts(void (*fn)(void*, int), void* c, int n) {
+    for (;;) {
+      const int part = next_part.fetch_add(1, std::memory_order_relaxed);
+      if (part >= n) return;
+      g_in_pool_task = true;
+      try {
+        fn(c, part);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(m);
+        if (!first_error) first_error = std::current_exception();
+      }
+      g_in_pool_task = false;
+      std::lock_guard<std::mutex> lk(m);
+      if (++completed == n) done_cv.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(m);
+    for (;;) {
+      work_cv.wait(lk, [&] { return stop || generation != seen; });
+      if (stop) return;
+      seen = generation;
+      auto* fn = invoke;
+      auto* c = ctx;
+      const int n = n_parts;
+      lk.unlock();
+      execute_parts(fn, c, n);
+      lk.lock();
+    }
+  }
+};
+
+ThreadPool::ThreadPool() : s_(new State) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(s_->m);
+    s_->stop = true;
+  }
+  s_->work_cv.notify_all();
+  for (auto& t : s_->workers) t.join();
+  delete s_;
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::in_task() { return g_in_pool_task; }
+
+int ThreadPool::workers_spawned() const {
+  std::lock_guard<std::mutex> lk(s_->m);
+  return static_cast<int>(s_->workers.size());
+}
+
+void ThreadPool::run_impl(int n_parts, void (*invoke)(void*, int), void* ctx) {
+  std::lock_guard<std::mutex> serialize(s_->submit_mutex);
+  const int wanted = std::min(n_parts - 1, kMaxPoolWorkers);
+  {
+    std::lock_guard<std::mutex> lk(s_->m);
+    while (static_cast<int>(s_->workers.size()) < wanted)
+      s_->workers.emplace_back([this] { s_->worker_loop(); });
+    s_->invoke = invoke;
+    s_->ctx = ctx;
+    s_->n_parts = n_parts;
+    s_->next_part.store(0, std::memory_order_relaxed);
+    s_->completed = 0;
+    s_->first_error = nullptr;
+    ++s_->generation;
+  }
+  s_->work_cv.notify_all();
+  s_->execute_parts(invoke, ctx, n_parts);  // the caller works too
+
+  std::unique_lock<std::mutex> lk(s_->m);
+  s_->done_cv.wait(lk, [&] { return s_->completed == s_->n_parts; });
+  const std::exception_ptr err = s_->first_error;
+  s_->first_error = nullptr;
+  lk.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+std::vector<std::size_t> balanced_partition(std::span<const offset_t> offsets,
+                                            std::size_t parts) {
+  const std::size_t n = offsets.empty() ? 0 : offsets.size() - 1;
+  parts = std::max<std::size_t>(1, std::min(parts, std::max<std::size_t>(n, 1)));
+  std::vector<std::size_t> bounds(parts + 1, n);
+  bounds[0] = 0;
+  if (n == 0) return bounds;
+  const offset_t total = offsets[n] - offsets[0];
+  if (total <= 0) {
+    // Degenerate (all-empty rows): fall back to an even index split.
+    for (std::size_t t = 1; t < parts; ++t) bounds[t] = n * t / parts;
+    return bounds;
+  }
+  for (std::size_t t = 1; t < parts; ++t) {
+    const offset_t target =
+        offsets[0] + static_cast<offset_t>(
+                         (static_cast<double>(total) * static_cast<double>(t)) /
+                         static_cast<double>(parts));
+    const auto it = std::lower_bound(offsets.begin(), offsets.end(), target);
+    const auto idx = static_cast<std::size_t>(it - offsets.begin());
+    bounds[t] = std::min(n, std::max(bounds[t - 1], idx));
+  }
+  return bounds;
+}
+
+}  // namespace spmvm

@@ -100,5 +100,19 @@ TEST(Spmmv, RejectsBadBlocks) {
       spmmv(a, std::span<const double>(x), std::span<double>(y), 4), Error);
 }
 
+TEST(Spmmv, RejectsNonPositiveKForEveryFormat) {
+  // The k-interleaved stride contract (x[i*k + v]) must be asserted
+  // before any indexing: k <= 0 throws instead of aliasing rows.
+  const auto a = random_csr<double>(12, 12, 1, 3, 8);
+  const auto p = Pjds<double>::from_csr(a);
+  std::vector<double> x(24), y(24);
+  for (int k : {0, -1, -7}) {
+    EXPECT_THROW(
+        spmmv(a, std::span<const double>(x), std::span<double>(y), k), Error);
+    EXPECT_THROW(
+        spmmv(p, std::span<const double>(x), std::span<double>(y), k), Error);
+  }
+}
+
 }  // namespace
 }  // namespace spmvm

@@ -107,6 +107,37 @@ TEST(SpmvCsr, RejectsShortVectors) {
       spmv(a, std::span<const double>(x2), std::span<double>(y2)), Error);
 }
 
+TEST(SpmvSlicedEll, AxpbyComposesCorrectly) {
+  const auto a = testing::random_csr<double>(70, 70, 0, 9, 21);
+  const auto s = SlicedEll<double>::from_csr(a, 16);  // σ = 1: plain basis
+  const auto x = testing::random_vector<double>(70, 22);
+  for (int threads : {1, 4}) {
+    auto y = testing::random_vector<double>(70, 23);
+    const auto y0 = y;
+    spmv_axpby(s, std::span<const double>(x), std::span<double>(y), 2.0, -0.5,
+               threads);
+    const auto ax = testing::reference_spmv(a, x);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      EXPECT_NEAR(y[i], -0.5 * y0[i] + 2.0 * ax[i], 1e-12)
+          << "threads=" << threads;
+  }
+}
+
+TEST(SpmvSlicedEll, AxpbyMatchesTwoPassOnSortedFormat) {
+  const auto a = testing::random_csr<double>(90, 90, 0, 14, 24);
+  const auto s =
+      SlicedEll<double>::from_csr(a, 8, /*sort_window=*/90,
+                                  PermuteColumns::yes);
+  const auto x = testing::random_vector<double>(90, 25);
+  std::vector<double> ax(90);
+  spmv(s, std::span<const double>(x), std::span<double>(ax));
+  auto y = testing::random_vector<double>(90, 26);
+  const auto y0 = y;
+  spmv_axpby(s, std::span<const double>(x), std::span<double>(y), 1.5, 0.25);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y[i], 0.25 * y0[i] + 1.5 * ax[i], 1e-12);
+}
+
 TEST(SpmvFloat, SinglePrecisionWithinTolerance) {
   const auto a = testing::random_csr<float>(80, 80, 1, 10, 15);
   const auto x = testing::random_vector<float>(80, 16);
