@@ -6,9 +6,12 @@
 // effect ("UHBR does not fit on fewer than five nodes") the device memory
 // is scaled by the same factor.
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "dist/cluster_model.hpp"
+#include "obs/bench_json.hpp"
 #include "gpusim/gpu_spmv.hpp"
 #include "matgen/suite.hpp"
 #include "sparse/matrix_stats.hpp"
@@ -19,8 +22,20 @@ using namespace spmvm::dist;
 
 namespace {
 
+const char* scheme_slug(CommScheme s) {
+  switch (s) {
+    case CommScheme::vector_mode:
+      return "vector";
+    case CommScheme::naive_overlap:
+      return "naive";
+    case CommScheme::task_mode:
+      return "task";
+  }
+  return "?";
+}
+
 void run_case(const char* name, double scale, double paper_single_gfs,
-              const std::vector<int>& nodes) {
+              const std::vector<int>& nodes, obs::BenchReport* report) {
   const auto m = make_named(name, scale);
   std::printf("%s\n", format_stats(m.name, compute_stats(m.matrix)).c_str());
 
@@ -34,6 +49,18 @@ void run_case(const char* name, double scale, double paper_single_gfs,
                                            CommScheme::naive_overlap,
                                            CommScheme::task_mode};
   const auto pts = strong_scaling(c, m.matrix, nodes, schemes);
+  if (report != nullptr) {
+    for (const auto& p : pts) {
+      if (p.seconds == 0.0) continue;  // did not fit in device memory
+      const std::string entry_name = std::string(name) + "/" +
+                                     scheme_slug(p.scheme) + "/" +
+                                     std::to_string(p.nodes);
+      const double sample[] = {p.seconds};
+      report->entries.push_back(obs::summarize_samples(
+          entry_name, sample,
+          {{"GF/s", p.gflops}, {"nodes", static_cast<double>(p.nodes)}}));
+    }
+  }
 
   AsciiTable t({"nodes", "vector [GF/s]", "naive [GF/s]", "task [GF/s]",
                 "task efficiency %"});
@@ -86,17 +113,35 @@ void run_case(const char* name, double scale, double paper_single_gfs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc &&
+        argv[i + 1][0] != '-') {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0 && argv[i][7] != '\0') {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 1;
+    }
+  }
+  obs::BenchReport report;
+  report.binary = "bench_fig5_scaling";
+  report.metadata.emplace_back("cluster", "dirac");
+  report.metadata.emplace_back("precision", "dp+ecc");
+  obs::BenchReport* rep = json_path.empty() ? nullptr : &report;
+
   std::printf("Fig. 5: strong scaling on a Dirac-like cluster "
               "(model, DP + ECC, ELLPACK-R)\n\n");
   const std::vector<int> nodes = {1, 2, 4, 8, 12, 16, 20, 24, 28, 32};
 
   std::printf("(a) DLR1 — small dimension, breakdown at high node counts\n");
-  run_case("DLR1", 8, 10.9, nodes);
+  run_case("DLR1", 8, 10.9, nodes, rep);
 
   std::printf("(b) UHBR — large Nnz, no breakdown; capacity floor at small "
               "node counts\n");
-  run_case("UHBR", 64, 44.6, nodes);
+  run_case("UHBR", 64, 44.6, nodes, rep);
 
   std::printf("paper claims to check:\n"
               " - task mode best everywhere; naive overlap >= vector mode;\n"
@@ -136,6 +181,10 @@ int main() {
                  fmt(pj[0].gflops, 1), fmt(ratio, 2)});
     }
     std::printf("%s\n", t.render().c_str());
+  }
+  if (rep != nullptr && !rep->write(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
   }
   return 0;
 }

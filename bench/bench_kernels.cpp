@@ -15,10 +15,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/footprint.hpp"
+#include "obs/bench_json.hpp"
 #include "core/pjds_spmv.hpp"
 #include "core/spmmv.hpp"
 #include "matgen/generators.hpp"
@@ -336,6 +339,80 @@ void BM_PjdsBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_PjdsBuild);
 
+/// Console output plus capture of every non-aggregate run for the
+/// bench.json report: per-iteration real time becomes the sample, rate
+/// counters (GF/s, GB/s, nnz/s) are de-rated back to per-second values.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters = static_cast<double>(run.iterations);
+      // run.counters are already finalized (kIsRate already divided
+      // by the accumulated real time), so values pass through as-is.
+      std::vector<std::pair<std::string, double>> counters;
+      for (const auto& [cname, c] : run.counters)
+        counters.emplace_back(cname, c.value);
+      entries.push_back(obs::summarize_samples(
+          run.benchmark_name(),
+          std::vector<double>{run.real_accumulated_time / iters},
+          std::move(counters)));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<obs::BenchEntry> entries;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our own --json flag before google-benchmark parses the rest.
+  std::string json_path;
+  std::vector<char*> args(argv, argv + argc);
+  for (std::size_t i = 1; i < args.size();) {
+    if (std::strcmp(args[i], "--json") == 0) {
+      // Only consume a following non-flag token as the path, so a bare
+      // --json can't swallow the next --benchmark_* option.
+      if (i + 1 >= args.size() || args[i + 1][0] == '-') {
+        std::fprintf(stderr, "error: --json requires a file path\n");
+        return 1;
+      }
+      json_path = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (std::strncmp(args[i], "--json=", 7) == 0) {
+      json_path = args[i] + 7;
+      if (json_path.empty()) {
+        std::fprintf(stderr, "error: --json requires a file path\n");
+        return 1;
+      }
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    obs::BenchReport report;
+    report.binary = "bench_kernels";
+    report.metadata.emplace_back(
+        "hardware_threads",
+        std::to_string(std::thread::hardware_concurrency()));
+    report.metadata.emplace_back("scale", "128");
+    report.entries = std::move(reporter.entries);
+    if (!report.write(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,8 +1,11 @@
 #include "dist/spmv_modes.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sparse/spmv_host.hpp"
 #include "util/error.hpp"
 
@@ -22,6 +25,27 @@ const char* to_string(CommScheme scheme) {
 
 namespace {
 constexpr int kTagHalo = 101;
+
+const char* scheme_span_name(CommScheme scheme) {
+  switch (scheme) {
+    case CommScheme::vector_mode:
+      return "dist/spmv_vector";
+    case CommScheme::naive_overlap:
+      return "dist/spmv_naive_overlap";
+    case CommScheme::task_mode:
+      return "dist/spmv_task";
+  }
+  return "dist/spmv";
+}
+
+/// Always-on comm accounting (bytes sent into the halo exchange).
+template <class T>
+void record_comm(const DistMatrix<T>& d, std::size_t send_entries) {
+  static obs::Counter& c_halo = obs::counter("comm.halo_bytes");
+  static obs::Counter& c_send = obs::counter("comm.send_bytes");
+  c_halo.add(static_cast<std::uint64_t>(d.n_halo) * sizeof(T));
+  c_send.add(static_cast<std::uint64_t>(send_entries) * sizeof(T));
+}
 
 /// Gather the owned entries each peer needs into the contiguous send
 /// buffer ("local gather" of Fig. 4); returns per-peer offsets.
@@ -121,43 +145,100 @@ void dist_spmv(msg::Comm& comm, const DistMatrix<T>& d,
   SPMVM_REQUIRE(y_local.size() >= static_cast<std::size_t>(d.n_local),
                 "y block too small");
 
+  SPMVM_TRACE_SPAN(scheme_span_name(scheme));
   switch (scheme) {
     case CommScheme::vector_mode: {
       // Communication first, then one full spMVM step.
-      const auto offs = gather_sendbuf(d, x_local, sendbuf);
-      auto reqs = post_exchange(comm, d, sendbuf, offs, halo);
-      comm.waitall(reqs);
-      spmv(d.local, x_local, y_local);
-      apply_nonlocal<T>(d, halo, y_local);
+      std::vector<std::size_t> offs;
+      {
+        SPMVM_TRACE_SPAN("comm/local_gather");
+        offs = gather_sendbuf(d, x_local, sendbuf);
+      }
+      record_comm(d, sendbuf.size());
+      std::vector<msg::Request> reqs;
+      {
+        SPMVM_TRACE_SPAN("comm/post_exchange");
+        reqs = post_exchange(comm, d, sendbuf, offs, halo);
+      }
+      {
+        SPMVM_TRACE_SPAN("comm/waitall",
+                         static_cast<std::uint64_t>(d.n_halo) * sizeof(T));
+        comm.waitall(reqs);
+      }
+      {
+        SPMVM_TRACE_SPAN("kernel/local");
+        spmv(d.local, x_local, y_local);
+      }
+      {
+        SPMVM_TRACE_SPAN("kernel/nonlocal");
+        apply_nonlocal<T>(d, halo, y_local);
+      }
       break;
     }
     case CommScheme::naive_overlap: {
       // Nonblocking MPI posted around the local spMVM; whether anything
       // actually overlaps depends on the library's async progress.
-      const auto offs = gather_sendbuf(d, x_local, sendbuf);
-      auto reqs = post_exchange(comm, d, sendbuf, offs, halo);
-      spmv(d.local, x_local, y_local);  // overlaps (maybe) with transfer
-      comm.waitall(reqs);
-      apply_nonlocal<T>(d, halo, y_local);
+      std::vector<std::size_t> offs;
+      {
+        SPMVM_TRACE_SPAN("comm/local_gather");
+        offs = gather_sendbuf(d, x_local, sendbuf);
+      }
+      record_comm(d, sendbuf.size());
+      std::vector<msg::Request> reqs;
+      {
+        SPMVM_TRACE_SPAN("comm/post_exchange");
+        reqs = post_exchange(comm, d, sendbuf, offs, halo);
+      }
+      {
+        SPMVM_TRACE_SPAN("kernel/local");
+        spmv(d.local, x_local, y_local);  // overlaps (maybe) with transfer
+      }
+      {
+        SPMVM_TRACE_SPAN("comm/waitall",
+                         static_cast<std::uint64_t>(d.n_halo) * sizeof(T));
+        comm.waitall(reqs);
+      }
+      {
+        SPMVM_TRACE_SPAN("kernel/nonlocal");
+        apply_nonlocal<T>(d, halo, y_local);
+      }
       break;
     }
     case CommScheme::task_mode: {
       // Dedicated communication thread (thread 0 of Fig. 4): gather,
       // exchange, waitall — while this thread computes the local part.
-      const auto offs = gather_sendbuf(d, x_local, sendbuf);
+      std::vector<std::size_t> offs;
+      {
+        SPMVM_TRACE_SPAN("comm/local_gather");
+        offs = gather_sendbuf(d, x_local, sendbuf);
+      }
+      record_comm(d, sendbuf.size());
       std::exception_ptr comm_error;
       std::thread comm_thread([&] {
+        obs::set_thread_name("comm thread");
         try {
-          auto reqs = post_exchange(comm, d, sendbuf, offs, halo);
+          std::vector<msg::Request> reqs;
+          {
+            SPMVM_TRACE_SPAN("comm/post_exchange");
+            reqs = post_exchange(comm, d, sendbuf, offs, halo);
+          }
+          SPMVM_TRACE_SPAN("comm/waitall",
+                           static_cast<std::uint64_t>(d.n_halo) * sizeof(T));
           comm.waitall(reqs);
         } catch (...) {
           comm_error = std::current_exception();
         }
       });
-      spmv(d.local, x_local, y_local);
+      {
+        SPMVM_TRACE_SPAN("kernel/local");
+        spmv(d.local, x_local, y_local);
+      }
       comm_thread.join();
       if (comm_error) std::rethrow_exception(comm_error);
-      apply_nonlocal<T>(d, halo, y_local);
+      {
+        SPMVM_TRACE_SPAN("kernel/nonlocal");
+        apply_nonlocal<T>(d, halo, y_local);
+      }
       break;
     }
   }

@@ -1,9 +1,8 @@
 #include "dist/timeline.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <sstream>
 
+#include "obs/trace_export.hpp"
 #include "util/error.hpp"
 
 namespace spmvm::dist {
@@ -21,50 +20,39 @@ double Timeline::duration() const {
 }
 
 std::string Timeline::render(int width) const {
-  SPMVM_REQUIRE(width >= 16, "timeline width too small");
-  const double total = duration();
-  std::ostringstream os;
-  if (total <= 0.0) {
-    os << "(empty timeline)\n";
-    return os.str();
-  }
-
-  std::vector<std::string> actors;
-  for (const auto& e : events_)
-    if (std::find(actors.begin(), actors.end(), e.actor) == actors.end())
-      actors.push_back(e.actor);
-
-  std::size_t label_w = 0;
-  for (const auto& a : actors) label_w = std::max(label_w, a.size());
-
-  for (const auto& actor : actors) {
-    std::string row(static_cast<std::size_t>(width), '.');
-    for (const auto& e : events_) {
-      if (e.actor != actor) continue;
-      auto c0 = static_cast<int>(e.t0 / total * (width - 1));
-      auto c1 = static_cast<int>(e.t1 / total * (width - 1));
-      c1 = std::max(c1, c0);
-      row[static_cast<std::size_t>(c0)] = '[';
-      row[static_cast<std::size_t>(c1)] = ']';
-      // Fill with the first letters of the label.
-      for (int c = c0 + 1; c < c1; ++c) {
-        const std::size_t li = static_cast<std::size_t>(c - c0 - 1);
-        row[static_cast<std::size_t>(c)] =
-            li < e.label.size() ? e.label[li] : '-';
-      }
+  // Group events into per-actor rows (first-appearance order) and hand
+  // the interval scaling/painting to the shared obs renderer.
+  std::vector<obs::IntervalRow> rows;
+  for (const auto& e : events_) {
+    auto it = std::find_if(rows.begin(), rows.end(), [&](const auto& r) {
+      return r.actor == e.actor;
+    });
+    if (it == rows.end()) {
+      rows.push_back({e.actor, {}});
+      it = rows.end() - 1;
     }
-    os << actor << std::string(label_w - actor.size(), ' ') << " |" << row
-       << "|\n";
+    it->intervals.push_back({e.label, e.t0, e.t1});
   }
-  char end_label[32];
-  std::snprintf(end_label, sizeof(end_label), "%.1f us", total * 1e6);
-  os << std::string(label_w, ' ') << " 0"
-     << std::string(static_cast<std::size_t>(
-                        std::max(1, width - 1 -
-                                        static_cast<int>(std::string(end_label).size()))),
-                    ' ')
-     << end_label << "\n";
-  return os.str();
+  return obs::render_interval_rows(rows, duration(), width);
+}
+
+Timeline timeline_from_trace(const std::vector<obs::TraceEvent>& events,
+                             const std::vector<obs::TraceThread>& threads,
+                             std::uint16_t max_depth) {
+  std::uint64_t origin = ~std::uint64_t{0};
+  for (const auto& e : events) origin = std::min(origin, e.t0_ns);
+  Timeline tl;
+  for (const auto& t : threads) {
+    const std::string actor =
+        t.name.empty() ? "thread " + std::to_string(t.tid) : t.name;
+    for (const auto& e : events) {
+      if (e.tid != t.tid || e.depth > max_depth) continue;
+      tl.add(actor, e.name ? e.name : "?",
+             static_cast<double>(e.t0_ns - origin) * 1e-9,
+             static_cast<double>(e.t1_ns - origin) * 1e-9);
+    }
+  }
+  return tl;
 }
 
 }  // namespace spmvm::dist

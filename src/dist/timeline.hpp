@@ -2,8 +2,11 @@
 // actor (host thread 0 / host thread 1 / the GPU) does what, when.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 namespace spmvm::dist {
 
@@ -24,11 +27,20 @@ class Timeline {
   double duration() const;
 
   /// Render as rows of labeled intervals over a scaled time axis, one row
-  /// per actor, in first-appearance order (ASCII Fig. 4).
+  /// per actor, in first-appearance order (ASCII Fig. 4). Delegates to
+  /// obs::render_interval_rows, the renderer shared with ascii_trace().
   std::string render(int width = 72) const;
 
  private:
   std::vector<TimelineEvent> events_;
 };
+
+/// Build a Timeline from recorded trace spans: one actor per thread
+/// (named via obs::set_thread_name, else "thread N"), spans at depth
+/// <= max_depth, times rebased so the earliest span starts at 0. This
+/// renders a *measured* Fig. 4 next to the modeled one.
+Timeline timeline_from_trace(const std::vector<obs::TraceEvent>& events,
+                             const std::vector<obs::TraceThread>& threads,
+                             std::uint16_t max_depth = 1);
 
 }  // namespace spmvm::dist

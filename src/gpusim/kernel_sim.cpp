@@ -7,6 +7,8 @@
 
 #include "gpusim/coalescing.hpp"
 #include "gpusim/l2_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace spmvm::gpusim {
@@ -120,11 +122,29 @@ class Engine {
   KernelStats stats_;
 };
 
+/// Per-simulation bookkeeping: the span carries the model-predicted DRAM
+/// transactions (bytes), measured balance alpha and predicted runtime, so
+/// a trace of the simulator reads like Table II.
+void record_sim(obs::SpanGuard& span, const KernelResult& r,
+                std::size_t scalar_size) {
+  static obs::Counter& c_sims = obs::counter("gpusim.kernels");
+  static obs::Counter& c_bytes = obs::counter("gpusim.dram_bytes");
+  c_sims.add();
+  c_bytes.add(r.stats.dram_bytes());
+  if (!span.active()) return;
+  span.set_bytes(r.stats.dram_bytes());
+  span.set_arg("alpha", r.stats.measured_alpha(scalar_size));
+  span.set_arg("pred_us", r.seconds * 1e6);
+}
+
 }  // namespace
 
 template <class T>
 KernelResult simulate(const DeviceSpec& dev, const Ellpack<T>& m,
                       EllpackKernel kernel, const SimOptions& opt) {
+  SPMVM_TRACE_SPAN_NAMED(span, kernel == EllpackKernel::plain
+                                   ? "gpusim/ellpack"
+                                   : "gpusim/ellpack_r");
   Engine eng(dev, sizeof(T), opt.ecc);
   eng.set_flops(2 * static_cast<std::uint64_t>(m.nnz));
   const index_t ws = dev.warp_size;
@@ -170,12 +190,15 @@ KernelResult simulate(const DeviceSpec& dev, const Ellpack<T>& m,
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(T));
   if (kernel == EllpackKernel::r)
     eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(index_t));
-  return eng.finalize();
+  const KernelResult res = eng.finalize();
+  record_sim(span, res, sizeof(T));
+  return res;
 }
 
 template <class T>
 KernelResult simulate(const DeviceSpec& dev, const Pjds<T>& m,
                       const SimOptions& opt) {
+  SPMVM_TRACE_SPAN_NAMED(span, "gpusim/pjds");
   Engine eng(dev, sizeof(T), opt.ecc);
   eng.set_flops(2 * static_cast<std::uint64_t>(m.nnz));
   const index_t ws = dev.warp_size;
@@ -213,12 +236,15 @@ KernelResult simulate(const DeviceSpec& dev, const Pjds<T>& m,
   // free; otherwise each step re-reads one 32-byte segment.
   if (dev.l2_bytes == 0 && !opt.col_start_in_texture)
     eng.stream(eng.stats().warp_steps * 32);
-  return eng.finalize();
+  const KernelResult res = eng.finalize();
+  record_sim(span, res, sizeof(T));
+  return res;
 }
 
 template <class T>
 KernelResult simulate(const DeviceSpec& dev, const SlicedEll<T>& m,
                       const SimOptions& opt) {
+  SPMVM_TRACE_SPAN_NAMED(span, "gpusim/sell");
   Engine eng(dev, sizeof(T), opt.ecc);
   eng.set_flops(2 * static_cast<std::uint64_t>(m.nnz));
   const index_t ws = dev.warp_size;
@@ -253,12 +279,15 @@ KernelResult simulate(const DeviceSpec& dev, const SlicedEll<T>& m,
   }
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(T));
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(index_t));
-  return eng.finalize();
+  const KernelResult res = eng.finalize();
+  record_sim(span, res, sizeof(T));
+  return res;
 }
 
 template <class T>
 KernelResult simulate_csr_scalar(const DeviceSpec& dev, const Csr<T>& m,
                                  const SimOptions& opt) {
+  SPMVM_TRACE_SPAN_NAMED(span, "gpusim/csr_scalar");
   Engine eng(dev, sizeof(T), opt.ecc);
   eng.set_flops(2 * static_cast<std::uint64_t>(m.nnz()));
   const index_t ws = dev.warp_size;
@@ -291,12 +320,15 @@ KernelResult simulate_csr_scalar(const DeviceSpec& dev, const Csr<T>& m,
   }
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(T));
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(offset_t));
-  return eng.finalize();
+  const KernelResult res = eng.finalize();
+  record_sim(span, res, sizeof(T));
+  return res;
 }
 
 template <class T>
 KernelResult simulate_csr_vector(const DeviceSpec& dev, const Csr<T>& m,
                                  const SimOptions& opt) {
+  SPMVM_TRACE_SPAN_NAMED(span, "gpusim/csr_vector");
   Engine eng(dev, sizeof(T), opt.ecc);
   eng.set_flops(2 * static_cast<std::uint64_t>(m.nnz()));
   const index_t ws = dev.warp_size;
@@ -330,7 +362,9 @@ KernelResult simulate_csr_vector(const DeviceSpec& dev, const Csr<T>& m,
   }
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(T));
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(offset_t));
-  return eng.finalize();
+  const KernelResult res = eng.finalize();
+  record_sim(span, res, sizeof(T));
+  return res;
 }
 
 template <class T>
@@ -339,6 +373,7 @@ KernelResult simulate_ellr_t(const DeviceSpec& dev, const Ellpack<T>& m,
   SPMVM_REQUIRE(threads_per_row >= 1 &&
                     dev.warp_size % threads_per_row == 0,
                 "threads_per_row must divide the warp size");
+  SPMVM_TRACE_SPAN_NAMED(span, "gpusim/ellr_t");
   Engine eng(dev, sizeof(T), opt.ecc);
   eng.set_flops(2 * static_cast<std::uint64_t>(m.nnz));
   const index_t tpr = threads_per_row;
@@ -385,7 +420,9 @@ KernelResult simulate_ellr_t(const DeviceSpec& dev, const Ellpack<T>& m,
   }
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(T));
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(index_t));
-  return eng.finalize();
+  const KernelResult res = eng.finalize();
+  record_sim(span, res, sizeof(T));
+  return res;
 }
 
 #define SPMVM_INSTANTIATE_KERNEL_SIM(T)                                    \

@@ -1,24 +1,31 @@
 #include "gpusim/pcie.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace spmvm::gpusim {
 
 double pcie_seconds(const DeviceSpec& dev, std::uint64_t bytes) {
   if (bytes == 0) return 0.0;
+  static obs::Counter& c_bytes = obs::counter("gpusim.pcie.bytes");
+  c_bytes.add(bytes);
   return dev.pcie_latency_s + static_cast<double>(bytes) / (dev.pcie_gbs * 1e9);
 }
 
 SpmvTimings with_pcie_transfers(const DeviceSpec& dev, const KernelResult& k,
                                 index_t n_rows, index_t n_cols,
                                 std::size_t scalar_size) {
-  SpmvTimings t;
-  t.kernel_seconds = k.seconds;
   const auto up = static_cast<std::uint64_t>(n_cols) * scalar_size;
   const auto down = static_cast<std::uint64_t>(n_rows) * scalar_size;
+  SPMVM_TRACE_SPAN_NAMED(span, "gpusim/pcie_transfers", up + down);
+  SpmvTimings t;
+  t.kernel_seconds = k.seconds;
   t.pcie_seconds = pcie_seconds(dev, up) + pcie_seconds(dev, down);
   t.total_seconds = t.kernel_seconds + t.pcie_seconds;
   const auto flops = static_cast<double>(k.stats.flops);
   t.gflops_kernel = flops / t.kernel_seconds / 1e9;
   t.gflops_total = flops / t.total_seconds / 1e9;
+  span.set_arg("pred_pcie_us", t.pcie_seconds * 1e6);
   return t;
 }
 

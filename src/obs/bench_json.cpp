@@ -1,0 +1,87 @@
+#include "obs/bench_json.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace spmvm::obs {
+
+namespace {
+
+std::string esc(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchEntry summarize_samples(
+    const std::string& name, std::span<const double> seconds,
+    std::vector<std::pair<std::string, double>> counters) {
+  BenchEntry e;
+  e.name = name;
+  e.repetitions = static_cast<int>(seconds.size());
+  e.counters = std::move(counters);
+  if (seconds.empty()) return e;
+  std::vector<double> sorted(seconds.begin(), seconds.end());
+  std::sort(sorted.begin(), sorted.end());
+  e.median_seconds = percentile_sorted(std::span<const double>(sorted), 0.5);
+  e.min_seconds = sorted.front();
+  e.max_seconds = sorted.back();
+  e.stddev_seconds = stddev_of(seconds);
+  return e;
+}
+
+std::string BenchReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"binary\":\"" << esc(binary) << "\",\"metadata\":{";
+  for (std::size_t i = 0; i < metadata.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << esc(metadata[i].first) << "\":\"" << esc(metadata[i].second)
+       << "\"";
+  }
+  os << "},\"benchmarks\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BenchEntry& e = entries[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << esc(e.name) << "\",\"repetitions\":"
+       << e.repetitions << ",\"median_seconds\":" << num(e.median_seconds)
+       << ",\"min_seconds\":" << num(e.min_seconds)
+       << ",\"max_seconds\":" << num(e.max_seconds)
+       << ",\"stddev_seconds\":" << num(e.stddev_seconds) << ",\"counters\":{";
+    for (std::size_t c = 0; c < e.counters.size(); ++c) {
+      if (c > 0) os << ",";
+      os << "\"" << esc(e.counters[c].first)
+         << "\":" << num(e.counters[c].second);
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool BenchReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace spmvm::obs

@@ -1,0 +1,44 @@
+// Machine-readable benchmark reports ("bench.json"): run metadata plus
+// per-benchmark medians/min/max/stddev and named counters, so BENCH_*.json
+// trajectories can be recorded per PR and diffed by tooling instead of
+// scraping console tables. Used by bench_kernels and bench_fig5_scaling
+// via their --json <path> flag.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spmvm::obs {
+
+/// Timing summary + counters of one benchmark case.
+struct BenchEntry {
+  std::string name;
+  int repetitions = 0;
+  double median_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  double stddev_seconds = 0.0;
+  std::vector<std::pair<std::string, double>> counters;  // "GB/s", ...
+};
+
+/// Summarize raw per-repetition samples (seconds) into an entry.
+BenchEntry summarize_samples(const std::string& name,
+                             std::span<const double> seconds,
+                             std::vector<std::pair<std::string, double>>
+                                 counters = {});
+
+/// One benchmark run: metadata + entries, serialized as a JSON object
+/// {"binary": ..., "metadata": {...}, "benchmarks": [...]}.
+struct BenchReport {
+  std::string binary;
+  std::vector<std::pair<std::string, std::string>> metadata;
+  std::vector<BenchEntry> entries;
+
+  std::string to_json() const;
+  /// Write to `path`; false on I/O failure.
+  bool write(const std::string& path) const;
+};
+
+}  // namespace spmvm::obs

@@ -1,0 +1,82 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+namespace spmvm::obs {
+
+namespace {
+
+/// One sorted map per metric kind; map nodes never move, so returned
+/// references are stable.
+struct MetricsRegistry {
+  std::mutex m;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms;
+};
+
+MetricsRegistry& metrics_registry() {
+  static MetricsRegistry* r = new MetricsRegistry;  // leaked on purpose
+  return *r;
+}
+
+template <class M>
+M& lookup(std::map<std::string, std::unique_ptr<M>>& by_name,
+          std::mutex& m, const std::string& name) {
+  std::lock_guard<std::mutex> lk(m);
+  auto& slot = by_name[name];
+  if (!slot) slot = std::make_unique<M>();
+  return *slot;
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  MetricsRegistry& r = metrics_registry();
+  return lookup(r.counters, r.m, name);
+}
+
+Gauge& gauge(const std::string& name) {
+  MetricsRegistry& r = metrics_registry();
+  return lookup(r.gauges, r.m, name);
+}
+
+HistogramMetric& histogram(const std::string& name) {
+  MetricsRegistry& r = metrics_registry();
+  return lookup(r.histograms, r.m, name);
+}
+
+std::vector<MetricSample> metrics_snapshot() {
+  MetricsRegistry& r = metrics_registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  std::vector<MetricSample> out;
+  for (const auto& [name, c] : r.counters)
+    out.push_back({name, MetricKind::counter,
+                   static_cast<double>(c->value()), Histogram()});
+  for (const auto& [name, g] : r.gauges)
+    out.push_back({name, MetricKind::gauge, g->value(), Histogram()});
+  for (const auto& [name, h] : r.histograms) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::histogram;
+    s.hist = h->snapshot();
+    s.value = static_cast<double>(s.hist.total());
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void reset_metrics() {
+  MetricsRegistry& r = metrics_registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  for (const auto& [name, c] : r.counters) c->reset();
+  for (const auto& [name, h] : r.histograms) h->reset();
+}
+
+}  // namespace spmvm::obs

@@ -1,0 +1,89 @@
+// Named process-wide metrics: counters, gauges and histograms.
+//
+// Unlike spans (obs/trace), metrics are always on — one relaxed atomic
+// op per update — so bytes moved, nnz processed and pool activity are
+// observable without enabling a trace. Instrumented sites cache the
+// reference returned by counter()/gauge()/histogram() in a function-
+// local static, so the name lookup happens once per site.
+//
+// Export: metrics_snapshot() for programmatic access, or the
+// Prometheus-style text format in obs/trace_export.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/types.hpp"
+
+namespace spmvm::obs {
+
+/// Monotonically increasing counter (events, bytes, iterations).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (worker count, queue depth).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Distribution of non-negative integer observations, backed by
+/// util/Histogram (bin size 1) under a mutex.
+class HistogramMetric {
+ public:
+  void observe(index_t value) {
+    std::lock_guard<std::mutex> lk(m_);
+    h_.add(value);
+  }
+  Histogram snapshot() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return h_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lk(m_);
+    h_ = Histogram();
+  }
+
+ private:
+  mutable std::mutex m_;
+  Histogram h_;
+};
+
+/// Look up (creating on first use) a metric by name. References stay
+/// valid for the process lifetime. Dotted names ("pool.parts") are the
+/// convention; exporters sanitize as needed.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+HistogramMetric& histogram(const std::string& name);
+
+enum class MetricKind { counter, gauge, histogram };
+
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::counter;
+  double value = 0.0;  // counter/gauge value; histogram: sample count
+  Histogram hist;      // populated for histograms only
+};
+
+/// All registered metrics, sorted by name.
+std::vector<MetricSample> metrics_snapshot();
+
+/// Zero every counter and histogram (gauges keep their last value).
+void reset_metrics();
+
+}  // namespace spmvm::obs

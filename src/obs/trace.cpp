@@ -1,0 +1,148 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+namespace spmvm::obs {
+
+namespace {
+
+/// Per-thread span storage. The owning thread appends under `m`; the
+/// critical sections are a few instructions, so the mutex is effectively
+/// uncontended except while collect() snapshots — which keeps the
+/// concurrent-collection path race-free (validated under TSan).
+struct ThreadBuffer {
+  std::mutex m;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+  std::string name;
+};
+
+struct Registry {
+  std::mutex m;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: threads may outlive main
+  return *r;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{[] {
+    const char* e = std::getenv("SPMVM_TRACE");
+    return e != nullptr && *e != '\0' && std::string_view(e) != "0";
+  }()};
+  return flag;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.m);
+    b->tid = r.next_tid++;
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+thread_local std::uint16_t t_depth = 0;
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+bool tracing_enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_tracing(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void set_thread_name(const std::string& name) {
+  // Not gated on tracing_enabled(): a thread named while tracing is off
+  // (e.g. a pool worker spawned early) keeps its actor label for traces
+  // enabled later. Once per thread, so the registration cost is moot.
+  ThreadBuffer& b = thread_buffer();
+  std::lock_guard<std::mutex> lk(b.m);
+  b.name = name;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+std::vector<TraceEvent> collect() {
+  std::vector<TraceEvent> out;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  for (const auto& b : r.buffers) {
+    std::lock_guard<std::mutex> blk(b->m);
+    out.insert(out.end(), b->events.begin(), b->events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t0_ns < b.t0_ns;
+                   });
+  return out;
+}
+
+std::vector<TraceThread> trace_threads() {
+  std::vector<TraceThread> out;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  for (const auto& b : r.buffers) {
+    std::lock_guard<std::mutex> blk(b->m);
+    out.push_back({b->tid, b->name});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceThread& a, const TraceThread& b) {
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+void clear_trace() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  for (const auto& b : r.buffers) {
+    std::lock_guard<std::mutex> blk(b->m);
+    b->events.clear();
+  }
+}
+
+SpanGuard::SpanGuard(const char* name, std::uint64_t bytes) {
+  if (name == nullptr || !tracing_enabled()) return;
+  active_ = true;
+  event_.name = name;
+  event_.bytes = bytes;
+  event_.depth = t_depth++;
+  event_.t0_ns = now_ns();
+}
+
+SpanGuard::~SpanGuard() {
+  if (!active_) return;
+  event_.t1_ns = now_ns();
+  --t_depth;
+  ThreadBuffer& b = thread_buffer();
+  std::lock_guard<std::mutex> lk(b.m);
+  event_.tid = b.tid;
+  b.events.push_back(event_);
+}
+
+}  // namespace spmvm::obs

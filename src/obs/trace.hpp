@@ -1,0 +1,119 @@
+// Span tracing for the whole stack (DESIGN.md §7 "Observability").
+//
+// Every instrumented site opens an RAII span (SPMVM_TRACE_SPAN) that is
+// recorded into the *calling thread's* buffer — appends never touch
+// another thread's data, so kernels, pool workers and the msg runtime's
+// rank threads can all trace concurrently. Tracing is off by default:
+// a disabled span is one relaxed atomic load and performs no allocation
+// whatsoever (asserted in test_trace.cpp). Enable with the environment
+// variable SPMVM_TRACE=1 or set_tracing(true).
+//
+// Spans nest: the per-thread depth is recorded so exporters can rebuild
+// the call tree. Completed spans are appended when the guard closes;
+// collect() snapshots every thread's buffer for export (Chrome trace
+// JSON via obs/trace_export, ASCII via dist/Timeline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spmvm::obs {
+
+/// One completed span. `name` and the attribute keys are pointers to
+/// static-storage strings (the macros pass literals), never owned.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t t0_ns = 0;  // since the process trace epoch
+  std::uint64_t t1_ns = 0;
+  std::uint32_t tid = 0;    // sequential thread id (see trace_threads())
+  std::uint16_t depth = 0;  // nesting level within the thread
+  std::uint64_t bytes = 0;  // payload the span moved; 0 = not set
+  static constexpr int kMaxArgs = 2;
+  const char* arg_name[kMaxArgs] = {nullptr, nullptr};
+  double arg_value[kMaxArgs] = {0.0, 0.0};
+  int n_args = 0;
+
+  double seconds() const {
+    return static_cast<double>(t1_ns - t0_ns) * 1e-9;
+  }
+};
+
+/// Identity of a thread that recorded spans: sequential id + actor name
+/// ("pool worker 3", "comm thread", ... — empty means unnamed).
+struct TraceThread {
+  std::uint32_t tid = 0;
+  std::string name;
+};
+
+/// Whether spans are being recorded (SPMVM_TRACE env or set_tracing).
+bool tracing_enabled();
+
+/// Turn recording on/off at runtime, overriding the environment.
+void set_tracing(bool on);
+
+/// Label the calling thread for exports (actor row in timelines). Takes
+/// effect even while tracing is off, so threads spawned before a trace
+/// is enabled keep their names.
+void set_thread_name(const std::string& name);
+
+/// Nanoseconds since the process-wide trace epoch.
+std::uint64_t now_ns();
+
+/// Snapshot all completed spans of every thread, ordered by start time.
+std::vector<TraceEvent> collect();
+
+/// Threads that have recorded at least one span (or were named).
+std::vector<TraceThread> trace_threads();
+
+/// Drop all recorded spans (thread registrations are kept).
+void clear_trace();
+
+/// RAII span: records [construction, destruction) into the calling
+/// thread's buffer when tracing is enabled, else does nothing.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name, std::uint64_t bytes = 0);
+  ~SpanGuard();
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  /// True when this span is being recorded — use to skip attribute
+  /// computations in hot paths.
+  bool active() const { return active_; }
+
+  void set_bytes(std::uint64_t bytes) {
+    if (active_) event_.bytes = bytes;
+  }
+
+  /// Attach a numeric attribute (α, predicted seconds, residual, ...).
+  /// `key` must point to static storage. Beyond kMaxArgs is ignored.
+  void set_arg(const char* key, double value) {
+    if (!active_ || event_.n_args >= TraceEvent::kMaxArgs) return;
+    event_.arg_name[event_.n_args] = key;
+    event_.arg_value[event_.n_args] = value;
+    ++event_.n_args;
+  }
+
+ private:
+  TraceEvent event_;
+  bool active_ = false;
+};
+
+#define SPMVM_OBS_CONCAT2(a, b) a##b
+#define SPMVM_OBS_CONCAT(a, b) SPMVM_OBS_CONCAT2(a, b)
+
+/// Anonymous span covering the rest of the enclosing scope.
+/// Usage: SPMVM_TRACE_SPAN("kernel/pjds");            — name only
+///        SPMVM_TRACE_SPAN("kernel/pjds", bytes);     — with payload
+#define SPMVM_TRACE_SPAN(...)                                         \
+  ::spmvm::obs::SpanGuard SPMVM_OBS_CONCAT(spmvm_trace_span_,         \
+                                           __LINE__) { __VA_ARGS__ }
+
+/// Named span for sites that attach attributes after the fact:
+///   SPMVM_TRACE_SPAN_NAMED(span, "gpusim/pjds");
+///   if (span.active()) span.set_arg("alpha", a);
+#define SPMVM_TRACE_SPAN_NAMED(var, ...)                              \
+  ::spmvm::obs::SpanGuard var { __VA_ARGS__ }
+
+}  // namespace spmvm::obs

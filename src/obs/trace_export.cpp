@@ -1,0 +1,243 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spmvm::obs {
+
+namespace {
+
+/// JSON string escaping for names/labels (control chars, quote, slash).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Microseconds with nanosecond resolution, fixed notation (Chrome's
+/// "ts"/"dur" fields).
+std::string fmt_us(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+std::string display_thread_name(const TraceThread& t) {
+  return t.name.empty() ? "thread " + std::to_string(t.tid) : t.name;
+}
+
+/// Prometheus metric name: sanitized to [a-zA-Z0-9_:], "spmvm_" prefix.
+std::string prom_name(const std::string& name) {
+  std::string out = "spmvm_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prom_value(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  return fmt_double(v);
+}
+
+}  // namespace
+
+IntervalCols scale_interval(double t0, double t1, double total, int width) {
+  IntervalCols ic;
+  ic.c0 = static_cast<int>(t0 / total * (width - 1));
+  ic.c1 = std::max(static_cast<int>(t1 / total * (width - 1)), ic.c0);
+  return ic;
+}
+
+std::string render_interval_rows(const std::vector<IntervalRow>& rows,
+                                 double total, int width) {
+  SPMVM_REQUIRE(width >= 16, "timeline width too small");
+  std::ostringstream os;
+  if (total <= 0.0) {
+    os << "(empty timeline)\n";
+    return os.str();
+  }
+
+  std::size_t label_w = 0;
+  for (const auto& row : rows) label_w = std::max(label_w, row.actor.size());
+
+  for (const auto& row : rows) {
+    std::string line(static_cast<std::size_t>(width), '.');
+    for (const auto& iv : row.intervals) {
+      const IntervalCols ic = scale_interval(iv.t0, iv.t1, total, width);
+      line[static_cast<std::size_t>(ic.c0)] = '[';
+      line[static_cast<std::size_t>(ic.c1)] = ']';
+      // Fill with the first letters of the label.
+      for (int c = ic.c0 + 1; c < ic.c1; ++c) {
+        const std::size_t li = static_cast<std::size_t>(c - ic.c0 - 1);
+        line[static_cast<std::size_t>(c)] =
+            li < iv.label.size() ? iv.label[li] : '-';
+      }
+    }
+    os << row.actor << std::string(label_w - row.actor.size(), ' ') << " |"
+       << line << "|\n";
+  }
+  char end_label[32];
+  std::snprintf(end_label, sizeof(end_label), "%.1f us", total * 1e6);
+  os << std::string(label_w, ' ') << " 0"
+     << std::string(static_cast<std::size_t>(
+                        std::max(1, width - 1 -
+                                        static_cast<int>(std::string(end_label).size()))),
+                    ' ')
+     << end_label << "\n";
+  return os.str();
+}
+
+std::string ascii_trace(const std::vector<TraceEvent>& events,
+                        const std::vector<TraceThread>& threads, int width,
+                        std::uint16_t max_depth) {
+  std::uint64_t origin = ~std::uint64_t{0};
+  std::uint64_t end = 0;
+  for (const auto& e : events) {
+    origin = std::min(origin, e.t0_ns);
+    end = std::max(end, e.t1_ns);
+  }
+  std::vector<IntervalRow> rows;
+  for (const auto& t : threads) {
+    IntervalRow row;
+    row.actor = display_thread_name(t);
+    for (const auto& e : events) {
+      if (e.tid != t.tid || e.depth > max_depth) continue;
+      row.intervals.push_back(
+          {e.name, static_cast<double>(e.t0_ns - origin) * 1e-9,
+           static_cast<double>(e.t1_ns - origin) * 1e-9});
+    }
+    if (!row.intervals.empty()) rows.push_back(std::move(row));
+  }
+  const double total =
+      events.empty() ? 0.0 : static_cast<double>(end - origin) * 1e-9;
+  return render_interval_rows(rows, total, width);
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              const std::vector<TraceThread>& threads) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& t : threads) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << t.tid
+       << ",\"args\":{\"name\":\"" << json_escape(display_thread_name(t))
+       << "\"}}";
+  }
+  for (const auto& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"X\",\"name\":\"" << json_escape(e.name ? e.name : "?")
+       << "\",\"pid\":0,\"tid\":" << e.tid << ",\"ts\":" << fmt_us(e.t0_ns)
+       << ",\"dur\":" << fmt_us(e.t1_ns - e.t0_ns) << ",\"args\":{\"depth\":"
+       << e.depth;
+    if (e.bytes > 0) {
+      os << ",\"bytes\":" << e.bytes;
+      if (e.t1_ns > e.t0_ns)
+        // 1 byte/ns == 1 GB/s, so the effective bandwidth falls out of
+        // the span itself.
+        os << ",\"GB/s\":"
+           << fmt_double(static_cast<double>(e.bytes) /
+                         static_cast<double>(e.t1_ns - e.t0_ns));
+    }
+    for (int i = 0; i < e.n_args; ++i)
+      os << ",\"" << json_escape(e.arg_name[i])
+         << "\":" << fmt_double(e.arg_value[i]);
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string chrome_trace_json() {
+  return chrome_trace_json(collect(), trace_threads());
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json();
+  return static_cast<bool>(out);
+}
+
+std::string prometheus_text(const std::vector<MetricSample>& samples) {
+  std::ostringstream os;
+  for (const auto& s : samples) {
+    const std::string name = prom_name(s.name);
+    switch (s.kind) {
+      case MetricKind::counter:
+        os << "# TYPE " << name << " counter\n"
+           << name << " " << prom_value(s.value) << "\n";
+        break;
+      case MetricKind::gauge:
+        os << "# TYPE " << name << " gauge\n"
+           << name << " " << prom_value(s.value) << "\n";
+        break;
+      case MetricKind::histogram: {
+        // Exposed as a summary: _count/_sum plus min/max gauges (the
+        // bin-1 histograms are exact, so no quantile estimation needed).
+        double sum = 0.0;
+        const auto& bins = s.hist.bins();
+        for (std::size_t v = 0; v < bins.size(); ++v)
+          sum += static_cast<double>(v) * static_cast<double>(bins[v]);
+        os << "# TYPE " << name << " summary\n"
+           << name << "_count " << prom_value(s.value) << "\n"
+           << name << "_sum " << prom_value(sum) << "\n";
+        os << "# TYPE " << name << "_min gauge\n"
+           << name << "_min " << s.hist.min_value() << "\n";
+        os << "# TYPE " << name << "_max gauge\n"
+           << name << "_max " << s.hist.max_value() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string prometheus_text() { return prometheus_text(metrics_snapshot()); }
+
+}  // namespace spmvm::obs

@@ -1,0 +1,74 @@
+// Exporters for the trace/metrics layer:
+//   - Chrome trace JSON (open in chrome://tracing or https://ui.perfetto.dev)
+//   - Prometheus text exposition format for the metrics registry
+//   - ASCII interval rows — the scaled-time-axis renderer shared by
+//     dist/Timeline (Fig. 4) and ascii_trace()
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace spmvm::obs {
+
+// ---- ASCII interval rendering ---------------------------------------------
+
+/// Character columns [c0, c1] of the interval [t0, t1] on a time axis of
+/// `total` seconds rendered into `width` columns. c1 is clamped to >= c0.
+struct IntervalCols {
+  int c0 = 0;
+  int c1 = 0;
+};
+IntervalCols scale_interval(double t0, double t1, double total, int width);
+
+/// One renderable row: a named actor with labeled intervals (seconds).
+struct IntervalRow {
+  struct Interval {
+    std::string label;
+    double t0 = 0.0;
+    double t1 = 0.0;
+  };
+  std::string actor;
+  std::vector<Interval> intervals;
+};
+
+/// Render rows over a shared scaled time axis of `total` seconds:
+/// "actor |[label---]....|" per row plus a "0 ... N us" footer. This is
+/// the renderer behind dist/Timeline::render (ASCII Fig. 4).
+std::string render_interval_rows(const std::vector<IntervalRow>& rows,
+                                 double total, int width);
+
+/// Render a collected trace as interval rows, one per thread, spans at
+/// depth <= max_depth (deeper nesting would overpaint its parent).
+std::string ascii_trace(const std::vector<TraceEvent>& events,
+                        const std::vector<TraceThread>& threads,
+                        int width = 72, std::uint16_t max_depth = 0);
+
+// ---- Chrome trace JSON ----------------------------------------------------
+
+/// Serialize spans as Chrome trace "X" (complete) events plus thread
+/// name metadata. Timestamps are microseconds since the trace epoch;
+/// bytes and numeric attributes appear under "args" (with a derived
+/// "GB/s" when a span carries bytes).
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              const std::vector<TraceThread>& threads);
+
+/// Collect the current trace and serialize it.
+std::string chrome_trace_json();
+
+/// Collect, serialize and write to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+// ---- Prometheus text ------------------------------------------------------
+
+/// Prometheus exposition text: "# TYPE" comment plus sample line(s) per
+/// metric. Names are sanitized to [a-zA-Z0-9_:] and prefixed "spmvm_".
+/// Histograms emit _count/_sum/_min/_max samples.
+std::string prometheus_text(const std::vector<MetricSample>& samples);
+
+/// Snapshot the metrics registry and serialize it.
+std::string prometheus_text();
+
+}  // namespace spmvm::obs

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solver/kernels.hpp"
 
 namespace spmvm::solver {
@@ -11,6 +13,8 @@ template <class T>
 BicgstabResult bicgstab(const Operator<T>& a, std::span<const T> b,
                         std::span<T> x, double tol, int max_iterations) {
   const auto n = static_cast<std::size_t>(a.size());
+  SPMVM_TRACE_SPAN("solver/bicgstab");
+  static obs::Counter& c_iters = obs::counter("solver.iterations");
   std::vector<T> r(n), r0(n), p(n), v(n), s(n), t(n);
 
   // r = b - A x0 in one fused matrix pass.
@@ -31,6 +35,8 @@ BicgstabResult bicgstab(const Operator<T>& a, std::span<const T> b,
 
   double rho = dot<T>(std::span<const T>(r0), std::span<const T>(r));
   for (int it = 0; it < max_iterations; ++it) {
+    SPMVM_TRACE_SPAN_NAMED(iter_span, "solver/bicgstab/iteration");
+    c_iters.add();
     a.apply(std::span<const T>(p), std::span<T>(v));
     const double r0v = dot<T>(std::span<const T>(r0), std::span<const T>(v));
     if (std::abs(r0v) < 1e-300) {
@@ -46,6 +52,10 @@ BicgstabResult bicgstab(const Operator<T>& a, std::span<const T> b,
       axpy<T>(static_cast<T>(alpha), p, x);
       result.iterations = it + 1;
       result.residual_norm = norm2<T>(std::span<const T>(s));
+      if (iter_span.active()) {
+        iter_span.set_arg("iteration", static_cast<double>(result.iterations));
+        iter_span.set_arg("residual", result.residual_norm);
+      }
       result.converged = true;
       return result;
     }
@@ -65,6 +75,10 @@ BicgstabResult bicgstab(const Operator<T>& a, std::span<const T> b,
 
     result.iterations = it + 1;
     result.residual_norm = norm2<T>(std::span<const T>(r));
+    if (iter_span.active()) {
+      iter_span.set_arg("iteration", static_cast<double>(result.iterations));
+      iter_span.set_arg("residual", result.residual_norm);
+    }
     if (result.residual_norm <= stop) {
       result.converged = true;
       return result;

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solver/kernels.hpp"
 
 namespace spmvm::solver {
@@ -10,6 +12,8 @@ template <class T>
 CgResult cg(const Operator<T>& a, std::span<const T> b, std::span<T> x,
             double tol, int max_iterations) {
   const auto n = static_cast<std::size_t>(a.size());
+  SPMVM_TRACE_SPAN("solver/cg");
+  static obs::Counter& c_iters = obs::counter("solver.iterations");
   std::vector<T> r(n), p(n), ap(n);
 
   // r = b - A x0 in one fused matrix pass; p = r.
@@ -29,6 +33,8 @@ CgResult cg(const Operator<T>& a, std::span<const T> b, std::span<T> x,
   }
 
   for (int it = 0; it < max_iterations; ++it) {
+    SPMVM_TRACE_SPAN_NAMED(iter_span, "solver/cg/iteration");
+    c_iters.add();
     a.apply(std::span<const T>(p.data(), n), std::span<T>(ap));
     const double pap = dot<T>(std::span<const T>(p), std::span<const T>(ap));
     if (pap <= 0.0) break;  // not SPD (or breakdown): bail out
@@ -38,6 +44,10 @@ CgResult cg(const Operator<T>& a, std::span<const T> b, std::span<T> x,
     const double rr_new = dot<T>(r, r);
     result.iterations = it + 1;
     result.residual_norm = std::sqrt(rr_new);
+    if (iter_span.active()) {
+      iter_span.set_arg("iteration", static_cast<double>(result.iterations));
+      iter_span.set_arg("residual", result.residual_norm);
+    }
     if (result.residual_norm <= stop) {
       result.converged = true;
       break;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solver/kernels.hpp"
 #include "util/rng.hpp"
 
@@ -57,6 +59,8 @@ LanczosResult lanczos_max_eigenvalue(const Operator<T>& a, int max_iterations,
   const auto n = static_cast<std::size_t>(a.size());
   LanczosResult result;
   if (n == 0) return result;
+  SPMVM_TRACE_SPAN("solver/lanczos");
+  static obs::Counter& c_iters = obs::counter("solver.iterations");
 
   Rng rng(seed);
   std::vector<T> v(n), v_prev(n, T{0}), w(n);
@@ -67,6 +71,8 @@ LanczosResult lanczos_max_eigenvalue(const Operator<T>& a, int max_iterations,
   std::vector<double> alpha, beta;
   double prev_estimate = 0.0;
   for (int it = 0; it < max_iterations; ++it) {
+    SPMVM_TRACE_SPAN_NAMED(iter_span, "solver/lanczos/iteration");
+    c_iters.add();
     a.apply(std::span<const T>(v), std::span<T>(w));
     const double al = dot<T>(std::span<const T>(w), std::span<const T>(v));
     alpha.push_back(al);
@@ -80,6 +86,10 @@ LanczosResult lanczos_max_eigenvalue(const Operator<T>& a, int max_iterations,
     const double estimate = tridiag_max_eigenvalue(alpha, beta);
     result.eigenvalue = estimate;
     result.iterations = it + 1;
+    if (iter_span.active()) {
+      iter_span.set_arg("iteration", static_cast<double>(result.iterations));
+      iter_span.set_arg("estimate", estimate);
+    }
     if (it > 0 && std::abs(estimate - prev_estimate) <=
                       tol * std::max(1.0, std::abs(estimate))) {
       result.converged = true;

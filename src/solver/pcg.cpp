@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solver/kernels.hpp"
 
 namespace spmvm::solver {
@@ -28,6 +30,8 @@ CgResult pcg_jacobi(const Operator<T>& a, std::span<const T> diagonal,
     SPMVM_REQUIRE(diagonal[i] != T{0},
                   "Jacobi preconditioner needs a non-zero diagonal");
 
+  SPMVM_TRACE_SPAN("solver/pcg_jacobi");
+  static obs::Counter& c_iters = obs::counter("solver.iterations");
   std::vector<T> r(n), z(n), p(n), ap(n);
   // r = b - A x0 in one fused matrix pass.
   copy<T>(b, r);
@@ -47,6 +51,8 @@ CgResult pcg_jacobi(const Operator<T>& a, std::span<const T> diagonal,
   }
 
   for (int it = 0; it < max_iterations; ++it) {
+    SPMVM_TRACE_SPAN_NAMED(iter_span, "solver/pcg_jacobi/iteration");
+    c_iters.add();
     a.apply(std::span<const T>(p), std::span<T>(ap));
     const double pap = dot<T>(std::span<const T>(p), std::span<const T>(ap));
     if (pap <= 0.0) break;
@@ -55,6 +61,10 @@ CgResult pcg_jacobi(const Operator<T>& a, std::span<const T> diagonal,
     axpy<T>(static_cast<T>(-alpha), ap, r);
     result.iterations = it + 1;
     result.residual_norm = norm2<T>(std::span<const T>(r));
+    if (iter_span.active()) {
+      iter_span.set_arg("iteration", static_cast<double>(result.iterations));
+      iter_span.set_arg("residual", result.residual_norm);
+    }
     if (result.residual_norm <= stop) {
       result.converged = true;
       break;

@@ -1,14 +1,77 @@
 #include "sparse/spmv_host.hpp"
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
 namespace spmvm {
 
 namespace {
+/// Effective bytes one kernel call streams — the stored matrix (values +
+/// indices + aux arrays, matching core/footprint's accounting) plus one
+/// RHS read and one LHS write — so a span's bytes / duration is directly
+/// the GB/s to compare against the STREAM limit (Eq. 1).
+template <class T>
+std::uint64_t vector_stream_bytes(index_t n_rows, index_t n_cols) {
+  return (static_cast<std::uint64_t>(n_rows) +
+          static_cast<std::uint64_t>(n_cols)) *
+         sizeof(T);
+}
+
+template <class T>
+std::uint64_t kernel_bytes(const Csr<T>& a) {
+  return static_cast<std::uint64_t>(a.nnz()) * (sizeof(T) + sizeof(index_t)) +
+         static_cast<std::uint64_t>(a.row_ptr.size()) * sizeof(offset_t) +
+         vector_stream_bytes<T>(a.n_rows, a.n_cols);
+}
+
+template <class T>
+std::uint64_t kernel_bytes(const Ellpack<T>& a, bool with_row_len) {
+  return static_cast<std::uint64_t>(a.val.size()) *
+             (sizeof(T) + sizeof(index_t)) +
+         (with_row_len
+              ? static_cast<std::uint64_t>(a.row_len.size()) * sizeof(index_t)
+              : 0) +
+         vector_stream_bytes<T>(a.n_rows, a.n_cols);
+}
+
+template <class T>
+std::uint64_t kernel_bytes(const Jds<T>& a) {
+  return static_cast<std::uint64_t>(a.val.size()) *
+             (sizeof(T) + sizeof(index_t)) +
+         static_cast<std::uint64_t>(a.jd_ptr.size()) * sizeof(offset_t) +
+         vector_stream_bytes<T>(a.n_rows, a.n_cols);
+}
+
+template <class T>
+std::uint64_t kernel_bytes(const SlicedEll<T>& a) {
+  return static_cast<std::uint64_t>(a.val.size()) *
+             (sizeof(T) + sizeof(index_t)) +
+         static_cast<std::uint64_t>(a.slice_ptr.size()) * sizeof(offset_t) +
+         static_cast<std::uint64_t>(a.row_len.size()) * sizeof(index_t) +
+         vector_stream_bytes<T>(a.n_rows, a.n_cols);
+}
+
+/// Per-call bookkeeping shared by every host kernel: bytes onto the
+/// span, always-on counters for calls / nnz processed / bytes moved.
+/// noinline: the static-local guards would bloat every kernel's entry
+/// block and push the hot loops past the inliner's budget.
+[[gnu::noinline]] void record_kernel(obs::SpanGuard& span, std::uint64_t nnz,
+                                     std::uint64_t bytes) {
+  static obs::Counter& c_calls = obs::counter("kernel.calls");
+  static obs::Counter& c_nnz = obs::counter("kernel.nnz");
+  static obs::Counter& c_bytes = obs::counter("kernel.bytes");
+  c_calls.add();
+  c_nnz.add(nnz);
+  c_bytes.add(bytes);
+  span.set_bytes(bytes);
+}
+
 template <class T>
 void check_shapes(index_t n_rows, index_t n_cols, std::span<const T> x,
                   std::span<T> y) {
@@ -90,10 +153,16 @@ void sliced_ell_slices(const SlicedEll<T>& a, const T* __restrict x,
 }
 }  // namespace
 
+// The instrumented entry points below delegate to noinline _impl
+// functions: keeping the hot loops in their own function means the
+// wrapper's span/counter bookkeeping cannot perturb their codegen
+// (inliner budget, loop placement) — measured at several percent when
+// the bookkeeping shared a function body with the loops.
+namespace {
+
 template <class T>
-void spmv(const Csr<T>& a, std::span<const T> x, std::span<T> y,
-          int n_threads) {
-  check_shapes(a.n_rows, a.n_cols, x, y);
+[[gnu::noinline]] void spmv_csr_impl(const Csr<T>& a, std::span<const T> x,
+                                     std::span<T> y, int n_threads) {
   const T* val = aligned(a.val);
   const index_t* col = aligned(a.col_idx);
   const offset_t* rp = aligned(a.row_ptr);
@@ -106,9 +175,10 @@ void spmv(const Csr<T>& a, std::span<const T> x, std::span<T> y,
 }
 
 template <class T>
-void spmv_axpby(const Csr<T>& a, std::span<const T> x, std::span<T> y,
-                T alpha, T beta, int n_threads) {
-  check_shapes(a.n_rows, a.n_cols, x, y);
+[[gnu::noinline]] void spmv_csr_axpby_impl(const Csr<T>& a,
+                                           std::span<const T> x,
+                                           std::span<T> y, T alpha, T beta,
+                                           int n_threads) {
   const T* val = aligned(a.val);
   const index_t* col = aligned(a.col_idx);
   const offset_t* rp = aligned(a.row_ptr);
@@ -122,9 +192,9 @@ void spmv_axpby(const Csr<T>& a, std::span<const T> x, std::span<T> y,
 }
 
 template <class T>
-void spmv_ellpack(const Ellpack<T>& a, std::span<const T> x, std::span<T> y,
-                  int n_threads) {
-  check_shapes(a.n_rows, a.n_cols, x, y);
+[[gnu::noinline]] void spmv_ellpack_impl(const Ellpack<T>& a,
+                                         std::span<const T> x, std::span<T> y,
+                                         int n_threads) {
   const auto rows = static_cast<std::size_t>(a.padded_rows);
   const T* __restrict val = aligned(a.val);
   const index_t* __restrict col = aligned(a.col_idx);
@@ -144,9 +214,9 @@ void spmv_ellpack(const Ellpack<T>& a, std::span<const T> x, std::span<T> y,
 }
 
 template <class T>
-void spmv_ellpack_r(const Ellpack<T>& a, std::span<const T> x, std::span<T> y,
-                    int n_threads) {
-  check_shapes(a.n_rows, a.n_cols, x, y);
+[[gnu::noinline]] void spmv_ellpack_r_impl(const Ellpack<T>& a,
+                                           std::span<const T> x,
+                                           std::span<T> y, int n_threads) {
   const auto rows = static_cast<std::size_t>(a.padded_rows);
   const T* __restrict val = aligned(a.val);
   const index_t* __restrict col = aligned(a.col_idx);
@@ -166,8 +236,8 @@ void spmv_ellpack_r(const Ellpack<T>& a, std::span<const T> x, std::span<T> y,
 }
 
 template <class T>
-void spmv(const Jds<T>& a, std::span<const T> x, std::span<T> y) {
-  check_shapes(a.n_rows, a.n_cols, x, y);
+[[gnu::noinline]] void spmv_jds_impl(const Jds<T>& a, std::span<const T> x,
+                                     std::span<T> y) {
   for (index_t i = 0; i < a.n_rows; ++i) y[static_cast<std::size_t>(i)] = T{0};
   // Diagonal-major loop order: long inner loops over consecutive rows,
   // the traversal JDS was designed for on vector machines.
@@ -183,9 +253,9 @@ void spmv(const Jds<T>& a, std::span<const T> x, std::span<T> y) {
 }
 
 template <class T>
-void spmv(const SlicedEll<T>& a, std::span<const T> x, std::span<T> y,
-          int n_threads) {
-  check_shapes(a.n_rows, a.n_cols, x, y);
+[[gnu::noinline]] void spmv_sell_impl(const SlicedEll<T>& a,
+                                      std::span<const T> x, std::span<T> y,
+                                      int n_threads) {
   parallel_for_balanced(
       std::span<const offset_t>(a.slice_ptr), n_threads,
       [&](std::size_t begin, std::size_t end) {
@@ -196,9 +266,10 @@ void spmv(const SlicedEll<T>& a, std::span<const T> x, std::span<T> y,
 }
 
 template <class T>
-void spmv_axpby(const SlicedEll<T>& a, std::span<const T> x, std::span<T> y,
-                T alpha, T beta, int n_threads) {
-  check_shapes(a.n_rows, a.n_cols, x, y);
+[[gnu::noinline]] void spmv_sell_axpby_impl(const SlicedEll<T>& a,
+                                            std::span<const T> x,
+                                            std::span<T> y, T alpha, T beta,
+                                            int n_threads) {
   parallel_for_balanced(
       std::span<const offset_t>(a.slice_ptr), n_threads,
       [&](std::size_t begin, std::size_t end) {
@@ -206,6 +277,75 @@ void spmv_axpby(const SlicedEll<T>& a, std::span<const T> x, std::span<T> y,
         sliced_ell_slices<T, true>(a, x.data(), y.data(), alpha, beta, begin,
                                    end, acc);
       });
+}
+
+}  // namespace
+
+template <class T>
+void spmv(const Csr<T>& a, std::span<const T> x, std::span<T> y,
+          int n_threads) {
+  check_shapes(a.n_rows, a.n_cols, x, y);
+  SPMVM_TRACE_SPAN_NAMED(span, "kernel/csr");
+  record_kernel(span, static_cast<std::uint64_t>(a.nnz()), kernel_bytes(a));
+  spmv_csr_impl(a, x, y, n_threads);
+}
+
+template <class T>
+void spmv_axpby(const Csr<T>& a, std::span<const T> x, std::span<T> y,
+                T alpha, T beta, int n_threads) {
+  check_shapes(a.n_rows, a.n_cols, x, y);
+  SPMVM_TRACE_SPAN_NAMED(span, "kernel/csr_axpby");
+  record_kernel(span, static_cast<std::uint64_t>(a.nnz()), kernel_bytes(a));
+  spmv_csr_axpby_impl(a, x, y, alpha, beta, n_threads);
+}
+
+template <class T>
+void spmv_ellpack(const Ellpack<T>& a, std::span<const T> x, std::span<T> y,
+                  int n_threads) {
+  check_shapes(a.n_rows, a.n_cols, x, y);
+  SPMVM_TRACE_SPAN_NAMED(span, "kernel/ellpack");
+  record_kernel(span, static_cast<std::uint64_t>(a.val.size()),
+                kernel_bytes(a, /*with_row_len=*/false));
+  spmv_ellpack_impl(a, x, y, n_threads);
+}
+
+template <class T>
+void spmv_ellpack_r(const Ellpack<T>& a, std::span<const T> x, std::span<T> y,
+                    int n_threads) {
+  check_shapes(a.n_rows, a.n_cols, x, y);
+  SPMVM_TRACE_SPAN_NAMED(span, "kernel/ellpack_r");
+  record_kernel(span, static_cast<std::uint64_t>(a.nnz),
+                kernel_bytes(a, /*with_row_len=*/true));
+  spmv_ellpack_r_impl(a, x, y, n_threads);
+}
+
+template <class T>
+void spmv(const Jds<T>& a, std::span<const T> x, std::span<T> y) {
+  check_shapes(a.n_rows, a.n_cols, x, y);
+  SPMVM_TRACE_SPAN_NAMED(span, "kernel/jds");
+  record_kernel(span, static_cast<std::uint64_t>(a.val.size()),
+                kernel_bytes(a));
+  spmv_jds_impl(a, x, y);
+}
+
+template <class T>
+void spmv(const SlicedEll<T>& a, std::span<const T> x, std::span<T> y,
+          int n_threads) {
+  check_shapes(a.n_rows, a.n_cols, x, y);
+  SPMVM_TRACE_SPAN_NAMED(span, "kernel/sell");
+  record_kernel(span, static_cast<std::uint64_t>(a.val.size()),
+                kernel_bytes(a));
+  spmv_sell_impl(a, x, y, n_threads);
+}
+
+template <class T>
+void spmv_axpby(const SlicedEll<T>& a, std::span<const T> x, std::span<T> y,
+                T alpha, T beta, int n_threads) {
+  check_shapes(a.n_rows, a.n_cols, x, y);
+  SPMVM_TRACE_SPAN_NAMED(span, "kernel/sell_axpby");
+  record_kernel(span, static_cast<std::uint64_t>(a.val.size()),
+                kernel_bytes(a));
+  spmv_sell_axpby_impl(a, x, y, alpha, beta, n_threads);
 }
 
 #define SPMVM_INSTANTIATE_HOST_KERNELS(T)                                   \

@@ -6,7 +6,11 @@
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace spmvm {
 
@@ -34,12 +38,18 @@ struct ThreadPool::State {
   std::exception_ptr first_error;
   bool stop = false;
 
-  void execute_parts(void (*fn)(void*, int), void* c, int n) {
+  /// Returns the number of parts this thread executed (imbalance gauge).
+  int execute_parts(void (*fn)(void*, int), void* c, int n) {
+    static obs::Counter& c_parts = obs::counter("pool.parts");
+    int mine = 0;
     for (;;) {
       const int part = next_part.fetch_add(1, std::memory_order_relaxed);
-      if (part >= n) return;
+      if (part >= n) return mine;
+      ++mine;
+      c_parts.add();
       g_in_pool_task = true;
       try {
+        SPMVM_TRACE_SPAN("pool/part");
         fn(c, part);
       } catch (...) {
         std::lock_guard<std::mutex> lk(m);
@@ -62,7 +72,11 @@ struct ThreadPool::State {
       auto* c = ctx;
       const int n = n_parts;
       lk.unlock();
-      execute_parts(fn, c, n);
+      {
+        // One span per broadcast received: the worker's busy interval.
+        SPMVM_TRACE_SPAN("pool/worker_run");
+        execute_parts(fn, c, n);
+      }
       lk.lock();
     }
   }
@@ -93,12 +107,30 @@ int ThreadPool::workers_spawned() const {
 }
 
 void ThreadPool::run_impl(int n_parts, void (*invoke)(void*, int), void* ctx) {
-  std::lock_guard<std::mutex> serialize(s_->submit_mutex);
+  static obs::Counter& c_tasks = obs::counter("pool.tasks");
+  static obs::Counter& c_contended = obs::counter("pool.submit_contended");
+  static obs::Gauge& g_workers = obs::gauge("pool.workers");
+  static obs::Gauge& g_caller_share = obs::gauge("pool.caller_part_share");
+
+  // A failing try_lock means another external submitter holds the pool:
+  // the closest thing this design has to queue depth.
+  if (!s_->submit_mutex.try_lock()) {
+    c_contended.add();
+    s_->submit_mutex.lock();
+  }
+  std::lock_guard<std::mutex> serialize(s_->submit_mutex, std::adopt_lock);
+  c_tasks.add();
   const int wanted = std::min(n_parts - 1, kMaxPoolWorkers);
   {
     std::lock_guard<std::mutex> lk(s_->m);
-    while (static_cast<int>(s_->workers.size()) < wanted)
-      s_->workers.emplace_back([this] { s_->worker_loop(); });
+    while (static_cast<int>(s_->workers.size()) < wanted) {
+      const int worker_idx = static_cast<int>(s_->workers.size());
+      s_->workers.emplace_back([this, worker_idx] {
+        obs::set_thread_name("pool worker " + std::to_string(worker_idx));
+        s_->worker_loop();
+      });
+    }
+    g_workers.set(static_cast<double>(s_->workers.size()));
     s_->invoke = invoke;
     s_->ctx = ctx;
     s_->n_parts = n_parts;
@@ -108,7 +140,11 @@ void ThreadPool::run_impl(int n_parts, void (*invoke)(void*, int), void* ctx) {
     ++s_->generation;
   }
   s_->work_cv.notify_all();
-  s_->execute_parts(invoke, ctx, n_parts);  // the caller works too
+  // The caller works too; its share of the dynamically claimed parts is
+  // the load-imbalance signal (1.0 = workers never got a part).
+  const int mine = s_->execute_parts(invoke, ctx, n_parts);
+  g_caller_share.set(static_cast<double>(mine) /
+                     static_cast<double>(n_parts));
 
   std::unique_lock<std::mutex> lk(s_->m);
   s_->done_cv.wait(lk, [&] { return s_->completed == s_->n_parts; });

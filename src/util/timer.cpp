@@ -1,5 +1,10 @@
 #include "util/timer.hpp"
 
+#include <algorithm>
+#include <vector>
+
+#include "util/stats.hpp"
+
 namespace spmvm {
 
 double measure_seconds(double min_seconds, int min_reps, void (*fn)(void*),
@@ -13,6 +18,30 @@ double measure_seconds(double min_seconds, int min_reps, void (*fn)(void*),
     ++reps;
   } while (t.seconds() < min_seconds || reps < min_reps);
   return t.seconds() / reps;
+}
+
+MeasureStats measure_seconds_stats(double min_seconds, int min_reps,
+                                   void (*fn)(void*), void* ctx) {
+  // Warm-up run (touch caches, fault pages).
+  fn(ctx);
+  std::vector<double> samples;
+  Timer total;
+  do {
+    Timer t;
+    fn(ctx);
+    samples.push_back(t.seconds());
+  } while (total.seconds() < min_seconds ||
+           static_cast<int>(samples.size()) < min_reps);
+
+  MeasureStats s;
+  s.reps = static_cast<int>(samples.size());
+  s.mean_seconds = mean_of(samples);
+  s.stddev_seconds = stddev_of(samples);
+  std::sort(samples.begin(), samples.end());
+  s.min_seconds = samples.front();
+  s.max_seconds = samples.back();
+  s.median_seconds = percentile_sorted(samples, 0.5);
+  return s;
 }
 
 }  // namespace spmvm

@@ -36,4 +36,30 @@ double measure_seconds(double min_seconds, int min_reps, F&& fn) {
                          [](void* c) { (*static_cast<Ctx*>(c)->f)(); }, &ctx);
 }
 
+/// Per-repetition timing spread from one measure_seconds_stats() run —
+/// mean alone hides jitter; min is the best-case (least-disturbed) rep.
+struct MeasureStats {
+  int reps = 0;
+  double mean_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  double stddev_seconds = 0.0;
+  double median_seconds = 0.0;
+};
+
+/// Like measure_seconds, but times every repetition individually and
+/// reports the spread across them.
+MeasureStats measure_seconds_stats(double min_seconds, int min_reps,
+                                   void (*fn)(void*), void* ctx);
+
+template <class F>
+MeasureStats measure_seconds_stats(double min_seconds, int min_reps, F&& fn) {
+  struct Ctx {
+    F* f;
+  } ctx{&fn};
+  return measure_seconds_stats(
+      min_seconds, min_reps,
+      [](void* c) { (*static_cast<Ctx*>(c)->f)(); }, &ctx);
+}
+
 }  // namespace spmvm

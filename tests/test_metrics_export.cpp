@@ -1,0 +1,286 @@
+// Metrics registry + exporters: counter/gauge/histogram semantics,
+// Chrome-trace JSON well-formedness, Prometheus text format, bench.json
+// reports, and an end-to-end traced solver + distributed spMVM run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/spmv_modes.hpp"
+#include "matgen/generators.hpp"
+#include "obs/bench_json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "solver/cg.hpp"
+#include "solver/kernels.hpp"
+
+namespace spmvm {
+namespace {
+
+// ---- helpers --------------------------------------------------------------
+
+/// Minimal JSON structure scanner: balanced braces/brackets outside
+/// strings, no trailing garbage. Catches malformed emitter output
+/// without a full parser.
+bool json_well_formed(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+class ScopedTracing {
+ public:
+  explicit ScopedTracing(bool on) : prev_(obs::tracing_enabled()) {
+    obs::clear_trace();
+    obs::set_tracing(on);
+  }
+  ~ScopedTracing() {
+    obs::set_tracing(prev_);
+    obs::clear_trace();
+  }
+
+ private:
+  bool prev_;
+};
+
+// ---- registry semantics ---------------------------------------------------
+
+TEST(Metrics, CounterAccumulatesAndResets) {
+  auto& c = obs::counter("test.counter_a");
+  c.reset();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(&obs::counter("test.counter_a"), &c);  // stable reference
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeIsLastWriteWins) {
+  auto& g = obs::gauge("test.gauge_a");
+  g.set(1.5);
+  g.set(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), -3.0);
+}
+
+TEST(Metrics, HistogramObservesDistribution) {
+  auto& h = obs::histogram("test.hist_a");
+  h.reset();
+  h.observe(3);
+  h.observe(3);
+  h.observe(7);
+  const Histogram snap = h.snapshot();
+  EXPECT_EQ(snap.total(), 3u);
+  EXPECT_EQ(snap.count(3), 2u);
+  EXPECT_EQ(snap.min_value(), 3);
+  EXPECT_EQ(snap.max_value(), 7);
+}
+
+TEST(Metrics, SnapshotIsSortedAndTyped) {
+  obs::counter("test.snap_counter").add(5);
+  obs::gauge("test.snap_gauge").set(2.0);
+  obs::histogram("test.snap_hist").observe(1);
+  const auto samples = obs::metrics_snapshot();
+  ASSERT_GE(samples.size(), 3u);
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    EXPECT_LE(samples[i - 1].name, samples[i].name);
+  bool saw_counter = false;
+  for (const auto& s : samples) {
+    if (s.name == "test.snap_counter") {
+      saw_counter = true;
+      EXPECT_EQ(s.kind, obs::MetricKind::counter);
+      EXPECT_GE(s.value, 5.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+}
+
+// ---- Prometheus text ------------------------------------------------------
+
+TEST(PrometheusExport, FormatsCounterGaugeHistogram) {
+  std::vector<obs::MetricSample> samples;
+  samples.push_back({"kernel.bytes", obs::MetricKind::counter, 1024.0, {}});
+  samples.push_back({"pool.workers", obs::MetricKind::gauge, 7.0, {}});
+  Histogram h;
+  h.add(2, 3);  // three observations of value 2
+  samples.push_back({"row.len", obs::MetricKind::histogram, 3.0, h});
+
+  const std::string text = obs::prometheus_text(samples);
+  EXPECT_NE(text.find("# TYPE spmvm_kernel_bytes counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spmvm_kernel_bytes 1024\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE spmvm_pool_workers gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spmvm_pool_workers 7\n"), std::string::npos);
+  EXPECT_NE(text.find("spmvm_row_len_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("spmvm_row_len_sum 6\n"), std::string::npos);
+  EXPECT_NE(text.find("spmvm_row_len_min 2\n"), std::string::npos);
+  EXPECT_NE(text.find("spmvm_row_len_max 2\n"), std::string::npos);
+  // Every non-comment line is "name value".
+  std::size_t at = 0;
+  while (at < text.size()) {
+    const std::size_t nl = text.find('\n', at);
+    const std::string line = text.substr(at, nl - at);
+    at = nl + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.rfind("spmvm_", 0), 0u) << line;
+  }
+}
+
+TEST(PrometheusExport, LiveRegistrySnapshotSerializes) {
+  obs::counter("test.prom_live").add(1);
+  const std::string text = obs::prometheus_text();
+  EXPECT_NE(text.find("spmvm_test_prom_live"), std::string::npos);
+}
+
+// ---- Chrome trace JSON ----------------------------------------------------
+
+TEST(ChromeExport, EmitsWellFormedJsonWithThreadsAndArgs) {
+  std::vector<obs::TraceEvent> events;
+  obs::TraceEvent e;
+  e.name = "kernel/pjds";
+  e.t0_ns = 1500;
+  e.t1_ns = 4500;
+  e.tid = 0;
+  e.depth = 1;
+  e.bytes = 3000;  // 3000 bytes / 3000 ns = 1 GB/s
+  e.arg_name[0] = "alpha";
+  e.arg_value[0] = 1.25;
+  e.n_args = 1;
+  events.push_back(e);
+  const std::vector<obs::TraceThread> threads = {{0, "main \"thread\""}};
+
+  const std::string json = obs::chrome_trace_json(events, threads);
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("main \\\"thread\\\""), std::string::npos);  // escaped
+  EXPECT_NE(json.find("\"name\":\"kernel/pjds\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":3.000"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":3000"), std::string::npos);
+  EXPECT_NE(json.find("\"GB/s\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\":1.25"), std::string::npos);
+}
+
+TEST(ChromeExport, EmptyTraceIsValid) {
+  const std::string json = obs::chrome_trace_json({}, {});
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+// ---- bench.json -----------------------------------------------------------
+
+TEST(BenchJson, SummarizesSamplesAndSerializes) {
+  const double samples[] = {3e-3, 1e-3, 2e-3};
+  obs::BenchReport report;
+  report.binary = "test_bench";
+  report.metadata.emplace_back("threads", "4");
+  report.entries.push_back(
+      obs::summarize_samples("case/a", samples, {{"GB/s", 12.5}}));
+
+  const auto& e = report.entries[0];
+  EXPECT_EQ(e.repetitions, 3);
+  EXPECT_DOUBLE_EQ(e.median_seconds, 2e-3);
+  EXPECT_DOUBLE_EQ(e.min_seconds, 1e-3);
+  EXPECT_DOUBLE_EQ(e.max_seconds, 3e-3);
+  EXPECT_GT(e.stddev_seconds, 0.0);
+
+  const std::string json = report.to_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"binary\":\"test_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\":\"4\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"case/a\""), std::string::npos);
+  EXPECT_NE(json.find("\"GB/s\":12.5"), std::string::npos);
+}
+
+// ---- end-to-end -----------------------------------------------------------
+
+TEST(TraceIntegration, SolverAndDistRunExportAllLayers) {
+  ScopedTracing on(true);
+
+  // A threaded CG solve: spans from the solver loop, the spMVM kernel
+  // and the thread pool all land in the trace.
+  {
+    const auto a = std::make_shared<const Csr<double>>(
+        make_poisson2d<double>(48, 48));
+    const auto op = solver::make_operator<double>(a, 4);
+    std::vector<double> b(static_cast<std::size_t>(a->n_rows), 1.0);
+    std::vector<double> x(b.size(), 0.0);
+    const auto r = solver::cg(op, std::span<const double>(b),
+                              std::span<double>(x), 1e-8, 200);
+    EXPECT_TRUE(r.converged);
+  }
+
+  // One distributed power iteration in task mode: comm-phase spans.
+  {
+    const auto a = make_poisson2d<double>(24, 24);
+    const auto part = dist::partition_balanced_nnz(a, 2);
+    msg::Runtime::run(2, [&](msg::Comm& comm) {
+      obs::set_thread_name("rank " + std::to_string(comm.rank()));
+      const auto d = dist::distribute(a, part, comm.rank());
+      const index_t row0 = part.begin(comm.rank());
+      std::vector<double> x0(
+          static_cast<std::size_t>(part.end(comm.rank()) - row0), 1.0);
+      dist::run_power_iterations(comm, d, std::span<const double>(x0), 2,
+                                 dist::CommScheme::task_mode);
+    });
+  }
+
+  const std::string json = obs::chrome_trace_json();
+  EXPECT_TRUE(json_well_formed(json));
+  for (const char* span_name :
+       {"solver/cg", "solver/cg/iteration", "kernel/csr", "pool/part",
+        "dist/spmv_task", "comm/local_gather", "comm/waitall",
+        "kernel/local"}) {
+    EXPECT_NE(json.find("\"name\":\"" + std::string(span_name) + "\""),
+              std::string::npos)
+        << "missing span: " << span_name;
+  }
+  // The solver iteration spans carry residuals.
+  EXPECT_NE(json.find("\"residual\":"), std::string::npos);
+  // Actor metadata from set_thread_name survives into the export.
+  EXPECT_NE(json.find("\"name\":\"rank 0\""), std::string::npos);
+
+  // Always-on metrics observed the same run.
+  EXPECT_GT(obs::counter("kernel.calls").value(), 0u);
+  EXPECT_GT(obs::counter("kernel.bytes").value(), 0u);
+  EXPECT_GT(obs::counter("solver.iterations").value(), 0u);
+  EXPECT_GT(obs::counter("comm.halo_bytes").value(), 0u);
+  EXPECT_GT(obs::counter("pool.tasks").value(), 0u);
+}
+
+}  // namespace
+}  // namespace spmvm
