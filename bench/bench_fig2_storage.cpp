@@ -3,15 +3,30 @@
 // highlights: DLR2 in double precision fits a 3 GB Tesla C2050 only in
 // the pJDS format.
 #include <cstdio>
+#include <string>
 
 #include "core/footprint.hpp"
 #include "gpusim/gpu_spmv.hpp"
 #include "matgen/suite.hpp"
+#include "obs/report.hpp"
 #include "util/ascii.hpp"
 
 using namespace spmvm;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path, err;
+  if (!obs::consume_json_flag(&argc, argv, &json_path, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+    return 1;
+  }
+  obs::BenchReport report;
+  report.binary = "bench_fig2_storage";
+  report.metadata = obs::machine_fingerprint();
+
   std::printf("Fig. 2: storage and warp-scheduling overhead per format\n\n");
 
   AsciiTable t({"matrix", "format", "stored entries", "fill %",
@@ -41,6 +56,12 @@ int main() {
       t.add_row({name, fname, fmt_count(f.stored_entries), fmt(fill, 1),
                  fmt(100.0 * r.stats.warp_efficiency(), 1),
                  fmt(r.gflops, 1)});
+      report.entries.push_back(obs::summarize_samples(
+          std::string("fig2/") + name + "/" + fname, {},
+          {{"stored_entries", static_cast<double>(f.stored_entries)},
+           {"fill_pct", fill},
+           {"warp_efficiency_pct", 100.0 * r.stats.warp_efficiency()},
+           {"GF/s", r.gflops}}));
     };
     add("ELLPACK", gpusim::FormatKind::ellpack, footprint(ell, false));
     add("ELLPACK-R", gpusim::FormatKind::ellpack_r, footprint(ell, true));
@@ -62,13 +83,20 @@ int main() {
                           gpusim::FormatKind::pjds}) {
     const double gb = static_cast<double>(gpusim::device_bytes(dlr2, kind)) *
                       scale / 1e9;
-    cap.add_row({gpusim::to_string(kind), fmt(gb, 2),
-                 gb * 1e9 <= static_cast<double>(c2050.dram_bytes) ? "yes"
-                                                                   : "NO"});
+    const bool fits = gb * 1e9 <= static_cast<double>(c2050.dram_bytes);
+    cap.add_row({gpusim::to_string(kind), fmt(gb, 2), fits ? "yes" : "NO"});
+    report.entries.push_back(obs::summarize_samples(
+        std::string("fig2/capacity_dlr2/") + gpusim::to_string(kind), {},
+        {{"device_gb_full_scale", gb}, {"fits_c2050", fits ? 1.0 : 0.0}}));
   }
   std::printf("%s\n", cap.render().c_str());
   std::printf("paper claim: \"the DLR2 matrix fits (in double precision) on "
               "an nVidia Fermi\nC2050 GPGPU only when using the pJDS "
               "format\" (its 6 GB sibling C2070 holds both).\n");
+
+  if (!json_path.empty() && !report.write(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
   return 0;
 }

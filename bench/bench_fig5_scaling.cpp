@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "dist/cluster_model.hpp"
-#include "obs/bench_json.hpp"
+#include "obs/report.hpp"
 #include "gpusim/gpu_spmv.hpp"
 #include "matgen/suite.hpp"
 #include "sparse/matrix_stats.hpp"
@@ -114,17 +114,14 @@ void run_case(const char* name, double scale, double paper_single_gfs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc &&
-        argv[i + 1][0] != '-') {
-      json_path = argv[++i];
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0 && argv[i][7] != '\0') {
-      json_path = argv[i] + 7;
-    } else {
-      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
-      return 1;
-    }
+  std::string json_path, err;
+  if (!obs::consume_json_flag(&argc, argv, &json_path, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+    return 1;
   }
   obs::BenchReport report;
   report.binary = "bench_fig5_scaling";

@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "core/footprint.hpp"
-#include "obs/bench_json.hpp"
+#include "obs/report.hpp"
 #include "core/pjds_spmv.hpp"
 #include "core/spmmv.hpp"
 #include "matgen/generators.hpp"
@@ -368,34 +368,13 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   // Strip our own --json flag before google-benchmark parses the rest.
-  std::string json_path;
-  std::vector<char*> args(argv, argv + argc);
-  for (std::size_t i = 1; i < args.size();) {
-    if (std::strcmp(args[i], "--json") == 0) {
-      // Only consume a following non-flag token as the path, so a bare
-      // --json can't swallow the next --benchmark_* option.
-      if (i + 1 >= args.size() || args[i + 1][0] == '-') {
-        std::fprintf(stderr, "error: --json requires a file path\n");
-        return 1;
-      }
-      json_path = args[i + 1];
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-    } else if (std::strncmp(args[i], "--json=", 7) == 0) {
-      json_path = args[i] + 7;
-      if (json_path.empty()) {
-        std::fprintf(stderr, "error: --json requires a file path\n");
-        return 1;
-      }
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
-    } else {
-      ++i;
-    }
-  }
-  int filtered_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&filtered_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+  std::string json_path, err;
+  if (!obs::consume_json_flag(&argc, argv, &json_path, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
     return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
 
   JsonCaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);

@@ -4,9 +4,11 @@
 //  - the Sec. III single-GPU-with-PCIe numbers: HMEp 3.7, sAMG 2.3,
 //    DLR1 10.9 GF/s (vs 12.9 kernel-only) in DP with ECC.
 #include <cstdio>
+#include <string>
 
 #include "gpusim/cpu_node.hpp"
 #include "matgen/suite.hpp"
+#include "obs/report.hpp"
 #include "perfmodel/balance.hpp"
 #include "perfmodel/model_eval.hpp"
 #include "perfmodel/pcie_impact.hpp"
@@ -15,7 +17,20 @@
 using namespace spmvm;
 using namespace spmvm::perfmodel;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path, err;
+  if (!obs::consume_json_flag(&argc, argv, &json_path, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+    return 1;
+  }
+  obs::BenchReport report;
+  report.binary = "bench_perf_model";
+  report.metadata = obs::machine_fingerprint();
+
   const auto dev = gpusim::DeviceSpec::tesla_c2070();
 
   std::printf("Eq. 1: DP code balance B_W = 6 + 4a + 8/N_nzr [bytes/flop]\n\n");
@@ -39,6 +54,13 @@ int main() {
   rt.add_row({"<=10% penalty, alpha=1/N_nzr, ratio 20",
               fmt(nnzr_lower_for_10pct_penalty_worst_alpha(20.0), 1), "266"});
   std::printf("%s\n", rt.render().c_str());
+  report.entries.push_back(obs::summarize_samples(
+      "perf_model/thresholds", {},
+      {{"ge50pct_worst_alpha_r20", nnzr_upper_for_50pct_penalty_worst_alpha(20.0)},
+       {"ge50pct_alpha1_r10", nnzr_upper_for_50pct_penalty(10.0, 1.0)},
+       {"le10pct_alpha1_r10", nnzr_lower_for_10pct_penalty(10.0, 1.0)},
+       {"le10pct_worst_alpha_r20",
+        nnzr_lower_for_10pct_penalty_worst_alpha(20.0)}}));
 
   std::printf("model vs simulator (DP, ECC on, ELLPACK-R), and the PCIe "
               "impact of Sec. III\ncells: measured [paper]\n\n");
@@ -72,6 +94,15 @@ int main() {
                 fmt(r.gflops_sim, 1) + " [" + fmt(it.paper_kernel, 1) + "]",
                 fmt(r.gflops_with_pcie, 1) + " [" + fmt(it.paper_pcie, 1) + "]",
                 fmt(c.gflops, 1) + " [" + fmt(it.paper_cpu, 1) + "]"});
+    report.entries.push_back(obs::summarize_samples(
+        std::string("perf_model/") + it.name, {},
+        {{"alpha_measured", r.alpha_measured},
+         {"balance_model", r.balance_model},
+         {"balance_sim", r.balance_sim},
+         {"kernel GF/s", r.gflops_sim},
+         {"pcie GF/s", r.gflops_with_pcie},
+         {"cpu_crs GF/s", c.gflops},
+         {"model_vs_sim_pct", r.model_vs_sim_pct()}}));
   }
   std::printf("%s\n", mt.render().c_str());
   std::printf("paper claims to check:\n"
@@ -79,5 +110,10 @@ int main() {
               "GPGPU candidates;\n"
               " - DLR1 keeps a clear GPU advantage (10.9 vs 12.9 kernel-only "
               "~ 16%% PCIe cost).\n");
+
+  if (!json_path.empty() && !report.write(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,170 @@
+// Unified benchmark suite driver.
+//
+// Runs the fixed scenario registry (suite_scenarios) — measured host
+// kernels, GPU-simulator model deviation with measured α, PCIe
+// thresholds, distributed communication modes — and emits one
+// schema-versioned bench.json trajectory point. With --compare it gates
+// the fresh run against a baseline report using the noise-aware
+// comparison of obs/regress and exits nonzero on regression, so CI can
+// fail a PR that slows a kernel or shifts a model output.
+//
+//   bench_suite --json BENCH_1.json           # record a trajectory point
+//   bench_suite --compare BENCH_0.json        # run + gate against baseline
+//   bench_suite --compare-files a.json b.json # gate two existing reports
+//   bench_suite --smoke ...                   # CI-sized matrices and reps
+//
+// Exit codes: 0 pass, 1 regression (or schema mismatch), 2 usage/IO.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/regress.hpp"
+#include "obs/report.hpp"
+#include "suite_scenarios.hpp"
+#include "util/ascii.hpp"
+#include "util/error.hpp"
+
+using namespace spmvm;
+
+namespace {
+
+void print_usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--smoke] [--filter <substr>] [--json <path>]\n"
+      "          [--compare <baseline.json>] [--compare-files <a> <b>]\n"
+      "          [--rel-tol <frac>] [--stddev-k <k>] [--gate <substr>]\n"
+      "          [--list]\n"
+      "env: SPMVM_BENCH_REPS, SPMVM_BENCH_MIN_SECONDS, SPMVM_BENCH_SCALE,\n"
+      "     SPMVM_BENCH_THREADS, SPMVM_BENCH_REL_TOL, SPMVM_BENCH_STDDEV_K\n",
+      argv0);
+}
+
+double env_or(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+void print_report(const obs::BenchReport& report) {
+  AsciiTable t({"benchmark", "reps", "mean [s]", "stddev [s]", "counters"});
+  for (const obs::BenchEntry& e : report.entries) {
+    std::string counters;
+    for (const auto& [k, v] : e.counters) {
+      if (!counters.empty()) counters += "  ";
+      counters += k + "=" + fmt(v, 3);
+    }
+    t.add_row({e.name, std::to_string(e.repetitions),
+               e.repetitions > 0 ? fmt(e.mean_seconds, 6) : "-",
+               e.repetitions > 1 ? fmt(e.stddev_seconds, 6) : "-",
+               counters});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+int run_compare(const obs::BenchReport& baseline,
+                const obs::BenchReport& current,
+                const obs::RegressOptions& opt) {
+  const obs::RegressResult r = obs::compare(baseline, current, opt);
+  std::printf("%s", r.render().c_str());
+  return r.passed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool list = false;
+  std::string filter;
+  std::string json_path;
+  std::string baseline_path;
+  std::string cmp_a, cmp_b;
+  obs::RegressOptions opt;
+  opt.rel_tol = env_or("SPMVM_BENCH_REL_TOL", opt.rel_tol);
+  opt.stddev_k = env_or("SPMVM_BENCH_STDDEV_K", opt.stddev_k);
+
+  std::string err;
+  if (!obs::consume_json_flag(&argc, argv, &json_path, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 2;
+  }
+
+  const auto value_of = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s requires a value\n", flag);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const char* v = nullptr;
+    if (std::strcmp(a, "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(a, "--list") == 0) {
+      list = true;
+    } else if (std::strcmp(a, "--filter") == 0) {
+      if ((v = value_of(i, a)) == nullptr) return 2;
+      filter = v;
+    } else if (std::strcmp(a, "--compare") == 0) {
+      if ((v = value_of(i, a)) == nullptr) return 2;
+      baseline_path = v;
+    } else if (std::strcmp(a, "--compare-files") == 0) {
+      if ((v = value_of(i, a)) == nullptr) return 2;
+      cmp_a = v;
+      if ((v = value_of(i, a)) == nullptr) return 2;
+      cmp_b = v;
+    } else if (std::strcmp(a, "--rel-tol") == 0) {
+      if ((v = value_of(i, a)) == nullptr) return 2;
+      opt.rel_tol = std::atof(v);
+    } else if (std::strcmp(a, "--stddev-k") == 0) {
+      if ((v = value_of(i, a)) == nullptr) return 2;
+      opt.stddev_k = std::atof(v);
+    } else if (std::strcmp(a, "--gate") == 0) {
+      if ((v = value_of(i, a)) == nullptr) return 2;
+      opt.name_filter = v;
+    } else {
+      print_usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (list) {
+    AsciiTable t({"scenario", "deterministic", "description"});
+    for (const suite::Scenario& s : suite::scenarios())
+      t.add_row({s.name, s.deterministic ? "yes" : "no", s.description});
+    std::printf("%s\n", t.render().c_str());
+    return 0;
+  }
+
+  try {
+    if (!cmp_a.empty()) {
+      // Pure file-vs-file gate; no scenarios run.
+      return run_compare(obs::load_bench_report(cmp_a),
+                         obs::load_bench_report(cmp_b), opt);
+    }
+
+    const suite::SuiteConfig cfg = suite::SuiteConfig::from_env(smoke);
+    std::printf("bench_suite: %s mode, min_reps=%d, min_seconds=%g, "
+                "host_scale=%g, threads=%d\n\n",
+                cfg.smoke ? "smoke" : "full", cfg.min_reps, cfg.min_seconds,
+                cfg.host_scale, cfg.threads);
+    const obs::BenchReport report = suite::run_suite(cfg, filter);
+    print_report(report);
+
+    if (!json_path.empty() && !report.write(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 2;
+    }
+
+    if (!baseline_path.empty())
+      return run_compare(obs::load_bench_report(baseline_path), report, opt);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

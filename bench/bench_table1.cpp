@@ -13,6 +13,7 @@
 #include "gpusim/cpu_node.hpp"
 #include "gpusim/gpu_spmv.hpp"
 #include "matgen/suite.hpp"
+#include "obs/report.hpp"
 #include "sparse/matrix_stats.hpp"
 #include "util/ascii.hpp"
 #include "util/timer.hpp"
@@ -57,7 +58,20 @@ gpusim::DeviceSpec scaled_device(gpusim::DeviceSpec dev, double scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path, err;
+  if (!obs::consume_json_flag(&argc, argv, &json_path, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+    return 1;
+  }
+  obs::BenchReport report;
+  report.binary = "bench_table1";
+  report.metadata = obs::machine_fingerprint();
+
   const auto base_dev = gpusim::DeviceSpec::tesla_c2070();
   const auto base_cpu = gpusim::CpuNodeSpec::westmere_ep();
   std::printf("Table I: data reduction and spMVM performance, %s (simulated)\n",
@@ -91,7 +105,10 @@ int main() {
     const double red = data_reduction_percent(
         Pjds<double>::from_csr(ad), Ellpack<double>::from_csr(ad, 32));
     cells[0].push_back(fmt(red, 1) + " [" + fmt(e.p_red, 1) + "]");
+    std::vector<std::pair<std::string, double>> counters = {
+        {"reduction_pct", red}, {"paper_reduction_pct", e.p_red}};
 
+    const char* cfg_names[4] = {"sp_ecc0", "sp_ecc1", "dp_ecc0", "dp_ecc1"};
     for (int cfg_i = 0; cfg_i < 4; ++cfg_i) {
       const bool sp = cfg_i < 2;
       const bool ecc = (cfg_i % 2) == 1;
@@ -107,9 +124,15 @@ int main() {
                                      fmt(e.p[cfg_i][0], 1) + "]");
       cells[2 + 2 * cfg_i].push_back(fmt(pj, 1) + " [" +
                                      fmt(e.p[cfg_i][1], 1) + "]");
+      counters.emplace_back(std::string(cfg_names[cfg_i]) + "_ellpack_r GF/s",
+                            er);
+      counters.emplace_back(std::string(cfg_names[cfg_i]) + "_pjds GF/s", pj);
     }
     const auto c = gpusim::simulate_csr(cpu, ad);
     cells[9].push_back(fmt(c.gflops, 1) + " [" + fmt(e.p_cpu, 1) + "]");
+    counters.emplace_back("cpu_crs_dp GF/s", c.gflops);
+    report.entries.push_back(obs::summarize_samples(
+        std::string("table1/") + e.name, {}, std::move(counters)));
   }
 
   const char* row_names[10] = {
@@ -129,5 +152,10 @@ int main() {
   std::printf(" - reduction ordering sAMG > DLR2 > HMEp > DLR1\n");
   std::printf(" - pJDS gains up to ~30%% (mostly SP), worst penalty ~5%% (DP)\n");
   std::printf(" - ECC costs roughly the bandwidth ratio 120/91 when bound\n");
+
+  if (!json_path.empty() && !report.write(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
   return 0;
 }

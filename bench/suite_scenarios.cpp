@@ -1,0 +1,327 @@
+#include "suite_scenarios.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/footprint.hpp"
+#include "core/pjds_spmv.hpp"
+#include "dist/cluster_model.hpp"
+#include "matgen/suite.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "perfmodel/balance.hpp"
+#include "perfmodel/model_eval.hpp"
+#include "perfmodel/pcie_impact.hpp"
+#include "sparse/spmv_host.hpp"
+#include "util/timer.hpp"
+
+namespace spmvm::suite {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+/// Matrices of the model-deviation table with the scales bench_perf_model
+/// uses (smoke mode shrinks them further for CI).
+struct DevItem {
+  const char* name;
+  double scale;
+  double smoke_scale;
+};
+constexpr DevItem kDevItems[] = {
+    {"DLR1", 8, 64},
+    {"HMEp", 32, 128},
+    {"sAMG", 32, 128},
+};
+
+/// Eq. 1 streamed bytes of one host product: stored matrix + RHS + LHS.
+template <class F>
+std::size_t product_bytes(const F& fmt_footprint, index_t n_rows,
+                          index_t n_cols) {
+  return fmt_footprint.total_bytes(sizeof(double)) +
+         (static_cast<std::size_t>(n_rows) +
+          static_cast<std::size_t>(n_cols)) *
+             sizeof(double);
+}
+
+obs::BenchEntry measured_entry(const SuiteConfig& cfg, const std::string& name,
+                               offset_t nnz, std::size_t bytes,
+                               void (*fn)(void*), void* ctx) {
+  const MeasureStats s =
+      measure_seconds_stats(cfg.min_seconds, cfg.min_reps, fn, ctx);
+  return obs::entry_from_stats(
+      name, s,
+      {{"GF/s", 2.0 * static_cast<double>(nnz) / s.mean_seconds / 1e9},
+       {"GB/s", static_cast<double>(bytes) / s.mean_seconds / 1e9}});
+}
+
+template <class F>
+obs::BenchEntry measured_entry(const SuiteConfig& cfg, const std::string& name,
+                               offset_t nnz, std::size_t bytes, F&& fn) {
+  struct Ctx {
+    F* f;
+  } ctx{&fn};
+  return measured_entry(
+      cfg, name, nnz, bytes, [](void* c) { (*static_cast<Ctx*>(c)->f)(); },
+      &ctx);
+}
+
+// ---- host_kernels: measured CPU spMVM per storage format -----------------
+
+void run_host_kernels(const SuiteConfig& cfg, obs::BenchReport& report) {
+  GenConfig gen;
+  gen.scale = cfg.host_scale;
+  const Csr<double> a = make_samg<double>(gen);
+  std::vector<double> x(static_cast<std::size_t>(a.n_cols), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.n_rows));
+  const int t = cfg.threads;
+
+  report.entries.push_back(measured_entry(
+      cfg, "host/csr", a.nnz(),
+      product_bytes(footprint(a), a.n_rows, a.n_cols), [&] {
+        spmv(a, std::span<const double>(x), std::span<double>(y), t);
+      }));
+
+  const auto ell = Ellpack<double>::from_csr(a, 32);
+  report.entries.push_back(measured_entry(
+      cfg, "host/ellpack", a.nnz(),
+      product_bytes(footprint(ell, false), a.n_rows, a.n_cols), [&] {
+        spmv_ellpack(ell, std::span<const double>(x), std::span<double>(y), t);
+      }));
+  report.entries.push_back(measured_entry(
+      cfg, "host/ellpack_r", a.nnz(),
+      product_bytes(footprint(ell, true), a.n_rows, a.n_cols), [&] {
+        spmv_ellpack_r(ell, std::span<const double>(x), std::span<double>(y),
+                       t);
+      }));
+
+  const auto jds = Jds<double>::from_csr(a, PermuteColumns::yes);
+  report.entries.push_back(measured_entry(
+      cfg, "host/jds", a.nnz(),
+      product_bytes(footprint(jds), a.n_rows, a.n_cols),
+      [&] { spmv(jds, std::span<const double>(x), std::span<double>(y)); }));
+
+  const auto sell = SlicedEll<double>::from_csr(a, 32);
+  report.entries.push_back(measured_entry(
+      cfg, "host/sliced_ell", a.nnz(),
+      product_bytes(footprint(sell), a.n_rows, a.n_cols), [&] {
+        spmv(sell, std::span<const double>(x), std::span<double>(y), t);
+      }));
+
+  const auto pjds = Pjds<double>::from_csr(a);
+  report.entries.push_back(measured_entry(
+      cfg, "host/pjds", a.nnz(),
+      product_bytes(footprint(pjds), a.n_rows, a.n_cols), [&] {
+        spmv(pjds, std::span<const double>(x), std::span<double>(y), t);
+      }));
+}
+
+// ---- model_deviation: Eq. 1 at measured α vs the simulator ---------------
+
+void run_model_deviation(const SuiteConfig& cfg, obs::BenchReport& report) {
+  const auto dev = gpusim::DeviceSpec::tesla_c2070();
+  for (const DevItem& it : kDevItems) {
+    const double scale = cfg.smoke ? it.smoke_scale : it.scale;
+    const auto a = make_named(it.name, scale).matrix;
+    auto sdev = dev;  // scale the L2 with the matrix (see DESIGN.md)
+    sdev.l2_bytes = static_cast<std::size_t>(
+        static_cast<double>(dev.l2_bytes) / scale);
+    const auto r =
+        perfmodel::evaluate(sdev, a, gpusim::FormatKind::ellpack_r, true);
+    const double sample[] = {r.sim_seconds};
+    report.entries.push_back(obs::summarize_samples(
+        std::string("model/") + it.name, sample,
+        {{"alpha_measured", r.alpha_measured},
+         {"balance_model", r.balance_model},
+         {"balance_sim", r.balance_sim},
+         {"model GF/s", r.gflops_model},
+         {"sim GF/s", r.gflops_sim},
+         {"pcie GF/s", r.gflops_with_pcie},
+         {"model_vs_sim_pct", r.model_vs_sim_pct()}}));
+  }
+}
+
+// ---- host_reference: the same matrices on this machine's CPU -------------
+
+void run_host_reference(const SuiteConfig& cfg, obs::BenchReport& report) {
+  for (const DevItem& it : kDevItems) {
+    const double scale = cfg.smoke ? it.smoke_scale : it.scale;
+    const auto a = make_named(it.name, scale).matrix;
+    std::vector<double> x(static_cast<std::size_t>(a.n_cols), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(a.n_rows));
+    const int t = cfg.threads;
+    report.entries.push_back(measured_entry(
+        cfg, std::string("deviation/") + it.name + "/host", a.nnz(),
+        product_bytes(footprint(a), a.n_rows, a.n_cols), [&] {
+          spmv(a, std::span<const double>(x), std::span<double>(y), t);
+        }));
+  }
+}
+
+// ---- pcie_thresholds: the Eqs. 3/4 favorable-N_nzr numbers ---------------
+
+void run_pcie_thresholds(const SuiteConfig&, obs::BenchReport& report) {
+  struct Row {
+    const char* name;
+    double value;
+    double paper;
+  };
+  const Row rows[] = {
+      {"pcie/ge50pct_worst_alpha_r20",
+       perfmodel::nnzr_upper_for_50pct_penalty_worst_alpha(20.0), 25},
+      {"pcie/ge50pct_alpha1_r10",
+       perfmodel::nnzr_upper_for_50pct_penalty(10.0, 1.0), 7},
+      {"pcie/le10pct_alpha1_r10",
+       perfmodel::nnzr_lower_for_10pct_penalty(10.0, 1.0), 80},
+      {"pcie/le10pct_worst_alpha_r20",
+       perfmodel::nnzr_lower_for_10pct_penalty_worst_alpha(20.0), 266},
+  };
+  for (const Row& r : rows)
+    report.entries.push_back(obs::summarize_samples(
+        r.name, {}, {{"nnzr", r.value}, {"paper_nnzr", r.paper}}));
+}
+
+// ---- dist_comm_modes: the three communication schemes (cluster model) ----
+
+const char* scheme_slug(dist::CommScheme s) {
+  switch (s) {
+    case dist::CommScheme::vector_mode: return "vector";
+    case dist::CommScheme::naive_overlap: return "naive";
+    case dist::CommScheme::task_mode: return "task";
+  }
+  return "?";
+}
+
+void run_dist_comm_modes(const SuiteConfig& cfg, obs::BenchReport& report) {
+  const double scale = cfg.smoke ? 32 : 8;
+  const auto m = make_named("DLR1", scale);
+  dist::ClusterSpec c = dist::ClusterSpec::dirac();
+  c.device.dram_bytes = static_cast<std::size_t>(
+      static_cast<double>(c.device.dram_bytes) / scale);
+  c.device.l2_bytes = static_cast<std::size_t>(
+      static_cast<double>(c.device.l2_bytes) / scale);
+
+  const std::vector<int> nodes = cfg.smoke ? std::vector<int>{1, 2}
+                                           : std::vector<int>{1, 2, 4, 8};
+  const std::vector<dist::CommScheme> schemes = {
+      dist::CommScheme::vector_mode, dist::CommScheme::naive_overlap,
+      dist::CommScheme::task_mode};
+  const auto pts = dist::strong_scaling(c, m.matrix, nodes, schemes);
+  for (const auto& p : pts) {
+    if (p.seconds == 0.0) continue;  // did not fit in device memory
+    const double sample[] = {p.seconds};
+    report.entries.push_back(obs::summarize_samples(
+        std::string("dist/DLR1/") + scheme_slug(p.scheme) + "/" +
+            std::to_string(p.nodes),
+        sample,
+        {{"GF/s", p.gflops}, {"nodes", static_cast<double>(p.nodes)}}));
+  }
+}
+
+/// The suite's validation summary: for every matrix with both a model
+/// row and a host row, one "deviation/<name>" entry (the three-way
+/// model-vs-simulated-vs-host table) mirrored into obs gauges.
+void record_deviation_table(obs::BenchReport& report) {
+  for (const DevItem& it : kDevItems) {
+    const obs::BenchEntry* model =
+        report.find(std::string("model/") + it.name);
+    const obs::BenchEntry* host =
+        report.find(std::string("deviation/") + it.name + "/host");
+    if (model == nullptr || host == nullptr) continue;
+    const auto counter = [](const obs::BenchEntry* e, const char* name) {
+      for (const auto& [k, v] : e->counters)
+        if (k == name) return v;
+      return 0.0;
+    };
+    const double model_gfs = counter(model, "model GF/s");
+    const double sim_gfs = counter(model, "sim GF/s");
+    const double host_gfs = counter(host, "GF/s");
+    const double model_sim_pct = perfmodel::deviation_pct(model_gfs, sim_gfs);
+    const double sim_host = host_gfs == 0.0 ? 0.0 : sim_gfs / host_gfs;
+    const double model_host = host_gfs == 0.0 ? 0.0 : model_gfs / host_gfs;
+    // Carry the host row's timing spread so the regression gate knows
+    // how noisy the host-derived ratios are.
+    obs::BenchEntry e = *host;
+    e.name = std::string("deviation/") + it.name;
+    e.counters = {{"model GF/s", model_gfs},
+                  {"sim GF/s", sim_gfs},
+                  {"host GF/s", host_gfs},
+                  {"model_vs_sim_pct", model_sim_pct},
+                  {"sim_vs_host_ratio", sim_host},
+                  {"model_vs_host_ratio", model_host}};
+    report.entries.push_back(std::move(e));
+    const std::string prefix = std::string("report.dev.") + it.name;
+    obs::gauge(prefix + ".model_vs_sim_pct").set(model_sim_pct);
+    obs::gauge(prefix + ".sim_vs_host_ratio").set(sim_host);
+    obs::gauge(prefix + ".model_vs_host_ratio").set(model_host);
+  }
+}
+
+constexpr Scenario kScenarios[] = {
+    {"host_kernels", "measured host spMVM per storage format (sAMG)", false,
+     run_host_kernels},
+    {"model_deviation",
+     "Eq. 1 at measured alpha vs the GPU simulator (DLR1/HMEp/sAMG)", true,
+     run_model_deviation},
+    {"host_reference",
+     "the model-deviation matrices on this machine's CPU (CSR)", false,
+     run_host_reference},
+    {"pcie_thresholds", "Eqs. 3/4 favorable-N_nzr thresholds", true,
+     run_pcie_thresholds},
+    {"dist_comm_modes",
+     "cluster-model strong scaling, three communication schemes", true,
+     run_dist_comm_modes},
+};
+
+}  // namespace
+
+SuiteConfig SuiteConfig::from_env(bool smoke) {
+  SuiteConfig cfg;
+  cfg.smoke = smoke;
+  if (smoke) {
+    cfg.min_reps = 5;
+    cfg.min_seconds = 0.005;  // enough reps for a usable stddev estimate
+    cfg.host_scale = 512.0;
+  }
+  cfg.min_reps =
+      static_cast<int>(env_double("SPMVM_BENCH_REPS", cfg.min_reps));
+  cfg.min_seconds = env_double("SPMVM_BENCH_MIN_SECONDS", cfg.min_seconds);
+  cfg.host_scale = env_double("SPMVM_BENCH_SCALE", cfg.host_scale);
+  cfg.threads =
+      static_cast<int>(env_double("SPMVM_BENCH_THREADS", cfg.threads));
+  return cfg;
+}
+
+std::span<const Scenario> scenarios() { return kScenarios; }
+
+obs::BenchReport run_suite(const SuiteConfig& cfg, const std::string& filter) {
+  obs::BenchReport report;
+  report.binary = "bench_suite";
+  report.metadata = obs::machine_fingerprint();
+  report.metadata.emplace_back("mode", cfg.smoke ? "smoke" : "full");
+  report.metadata.emplace_back("min_reps", std::to_string(cfg.min_reps));
+  report.metadata.emplace_back("min_seconds",
+                               std::to_string(cfg.min_seconds));
+  report.metadata.emplace_back("host_scale", std::to_string(cfg.host_scale));
+  report.metadata.emplace_back("threads", std::to_string(cfg.threads));
+  if (!filter.empty()) report.metadata.emplace_back("filter", filter);
+
+  for (const Scenario& s : kScenarios) {
+    if (!filter.empty() &&
+        std::string_view(s.name).find(filter) == std::string_view::npos)
+      continue;
+    s.run(cfg, report);
+  }
+  record_deviation_table(report);
+  return report;
+}
+
+}  // namespace spmvm::suite

@@ -1,0 +1,52 @@
+// Scenario registry of the unified benchmark suite (bench_suite).
+//
+// One scenario = one named group of BenchEntry rows appended to a
+// BenchReport. The registry is fixed and ordered, so two runs of the
+// same binary produce the same entry set — the property the regression
+// gate (obs/regress) relies on to tell "metric removed" from "scenario
+// renamed". Scenarios marked `deterministic` derive everything from the
+// simulator/analytic model and produce bit-identical values on any
+// machine; the host_* scenarios time real kernels and carry per-rep
+// noise statistics instead.
+//
+// Split into its own translation unit (linked by both bench_suite and
+// test_bench_report) so the registry itself is under test.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "obs/bench_json.hpp"
+
+namespace spmvm::suite {
+
+/// Knobs shared by all scenarios. `--smoke` (or smoke_config()) selects
+/// tiny matrices and minimal repetitions for CI; the SPMVM_BENCH_*
+/// environment variables override individual fields (see from_env).
+struct SuiteConfig {
+  bool smoke = false;
+  int min_reps = 5;           // SPMVM_BENCH_REPS
+  double min_seconds = 0.02;  // SPMVM_BENCH_MIN_SECONDS, per measured case
+  double host_scale = 64.0;   // SPMVM_BENCH_SCALE, host-kernel matrix 1/S
+  int threads = 1;            // SPMVM_BENCH_THREADS, host-kernel threads
+
+  /// Defaults for the mode, then SPMVM_BENCH_* overrides applied.
+  static SuiteConfig from_env(bool smoke);
+};
+
+struct Scenario {
+  const char* name;         // registry key, also the entry-name prefix
+  const char* description;
+  bool deterministic;       // machine-independent model output
+  void (*run)(const SuiteConfig&, obs::BenchReport&);
+};
+
+/// The fixed, ordered scenario registry.
+std::span<const Scenario> scenarios();
+
+/// Run every scenario whose name contains `filter` (empty = all) into a
+/// report stamped with the machine fingerprint and suite config.
+obs::BenchReport run_suite(const SuiteConfig& cfg,
+                           const std::string& filter = "");
+
+}  // namespace spmvm::suite

@@ -42,6 +42,7 @@ BenchEntry summarize_samples(
   if (seconds.empty()) return e;
   std::vector<double> sorted(seconds.begin(), seconds.end());
   std::sort(sorted.begin(), sorted.end());
+  e.mean_seconds = mean_of(seconds);
   e.median_seconds = percentile_sorted(std::span<const double>(sorted), 0.5);
   e.min_seconds = sorted.front();
   e.max_seconds = sorted.back();
@@ -49,9 +50,31 @@ BenchEntry summarize_samples(
   return e;
 }
 
+BenchEntry entry_from_stats(
+    const std::string& name, const MeasureStats& s,
+    std::vector<std::pair<std::string, double>> counters) {
+  BenchEntry e;
+  e.name = name;
+  e.repetitions = s.reps;
+  e.mean_seconds = s.mean_seconds;
+  e.median_seconds = s.median_seconds;
+  e.min_seconds = s.min_seconds;
+  e.max_seconds = s.max_seconds;
+  e.stddev_seconds = s.stddev_seconds;
+  e.counters = std::move(counters);
+  return e;
+}
+
+const BenchEntry* BenchReport::find(const std::string& name) const {
+  for (const BenchEntry& e : entries)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
 std::string BenchReport::to_json() const {
   std::ostringstream os;
-  os << "{\"binary\":\"" << esc(binary) << "\",\"metadata\":{";
+  os << "{\"schema_version\":" << schema_version << ",\"binary\":\""
+     << esc(binary) << "\",\"metadata\":{";
   for (std::size_t i = 0; i < metadata.size(); ++i) {
     if (i > 0) os << ",";
     os << "\"" << esc(metadata[i].first) << "\":\"" << esc(metadata[i].second)
@@ -62,7 +85,8 @@ std::string BenchReport::to_json() const {
     const BenchEntry& e = entries[i];
     if (i > 0) os << ",";
     os << "{\"name\":\"" << esc(e.name) << "\",\"repetitions\":"
-       << e.repetitions << ",\"median_seconds\":" << num(e.median_seconds)
+       << e.repetitions << ",\"mean_seconds\":" << num(e.mean_seconds)
+       << ",\"median_seconds\":" << num(e.median_seconds)
        << ",\"min_seconds\":" << num(e.min_seconds)
        << ",\"max_seconds\":" << num(e.max_seconds)
        << ",\"stddev_seconds\":" << num(e.stddev_seconds) << ",\"counters\":{";

@@ -10,12 +10,21 @@
 #include <utility>
 #include <vector>
 
+#include "util/timer.hpp"
+
 namespace spmvm::obs {
+
+/// Version of the bench.json layout. Bumped whenever a field is removed
+/// or changes meaning; obs/regress refuses to compare reports across
+/// versions. Version 1 added "schema_version" and "mean_seconds" (files
+/// from before the field existed parse as version 0).
+inline constexpr int kBenchSchemaVersion = 1;
 
 /// Timing summary + counters of one benchmark case.
 struct BenchEntry {
   std::string name;
   int repetitions = 0;
+  double mean_seconds = 0.0;
   double median_seconds = 0.0;
   double min_seconds = 0.0;
   double max_seconds = 0.0;
@@ -29,12 +38,22 @@ BenchEntry summarize_samples(const std::string& name,
                              std::vector<std::pair<std::string, double>>
                                  counters = {});
 
+/// Build an entry from a measure_seconds_stats() run.
+BenchEntry entry_from_stats(const std::string& name, const MeasureStats& s,
+                            std::vector<std::pair<std::string, double>>
+                                counters = {});
+
 /// One benchmark run: metadata + entries, serialized as a JSON object
-/// {"binary": ..., "metadata": {...}, "benchmarks": [...]}.
+/// {"schema_version": N, "binary": ..., "metadata": {...},
+///  "benchmarks": [...]}.
 struct BenchReport {
+  int schema_version = kBenchSchemaVersion;
   std::string binary;
   std::vector<std::pair<std::string, std::string>> metadata;
   std::vector<BenchEntry> entries;
+
+  /// First entry with the given name, or nullptr.
+  const BenchEntry* find(const std::string& name) const;
 
   std::string to_json() const;
   /// Write to `path`; false on I/O failure.

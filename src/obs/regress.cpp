@@ -1,0 +1,200 @@
+#include "obs/regress.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace spmvm::obs {
+
+namespace {
+
+bool name_passes(const std::string& name, const RegressOptions& opt) {
+  return opt.name_filter.empty() ||
+         name.find(opt.name_filter) != std::string::npos;
+}
+
+/// Rate counters (GF/s, GB/s, nnz/s) are higher-is-better; a drop gates.
+bool is_rate(const std::string& counter) {
+  return counter.size() >= 2 &&
+         counter.compare(counter.size() - 2, 2, "/s") == 0;
+}
+
+double rel_change(double baseline, double current) {
+  if (baseline == 0.0) return current == 0.0 ? 0.0 : INFINITY;
+  return (current - baseline) / std::abs(baseline);
+}
+
+/// One-sided comparison: `worse` is the signed amount by which the
+/// current value moved in the bad direction.
+DeltaStatus judge(double worse, double allowed) {
+  if (worse > allowed) return DeltaStatus::regression;
+  if (-worse > allowed) return DeltaStatus::improved;
+  return DeltaStatus::ok;
+}
+
+}  // namespace
+
+const char* to_string(DeltaStatus s) {
+  switch (s) {
+    case DeltaStatus::ok: return "ok";
+    case DeltaStatus::regression: return "REGRESSION";
+    case DeltaStatus::improved: return "improved";
+    case DeltaStatus::added: return "added";
+    case DeltaStatus::removed: return "removed";
+  }
+  return "?";
+}
+
+RegressResult compare(const BenchReport& baseline, const BenchReport& current,
+                      const RegressOptions& opt) {
+  RegressResult r;
+  r.baseline_schema = baseline.schema_version;
+  r.current_schema = current.schema_version;
+  if (baseline.schema_version != current.schema_version) {
+    // Refuse to diff metrics across layouts: a field that changed
+    // meaning would silently pass (or fail) for the wrong reason.
+    r.schema_mismatch = true;
+    r.passed = !opt.fail_on_schema;
+    return r;
+  }
+
+  const auto gate = [&](MetricDelta d) {
+    if (d.status == DeltaStatus::regression ||
+        (d.status == DeltaStatus::removed && opt.fail_on_removed))
+      ++r.n_regressions;
+    if (d.status == DeltaStatus::improved) ++r.n_improvements;
+    r.deltas.push_back(std::move(d));
+  };
+
+  for (const BenchEntry& b : baseline.entries) {
+    if (!name_passes(b.name, opt)) continue;
+    const BenchEntry* c = current.find(b.name);
+    if (c == nullptr) {
+      MetricDelta d;
+      d.entry = b.name;
+      d.metric = "(entry)";
+      d.status = DeltaStatus::removed;
+      d.baseline = b.mean_seconds;
+      gate(std::move(d));
+      continue;
+    }
+
+    {
+      // Timing: the noise window uses the pooled per-rep spread of both
+      // runs — a jittery pair of runs earns a wider window, while a
+      // deterministic model output (stddev 0) is held to rel_tol alone.
+      MetricDelta d;
+      d.entry = b.name;
+      d.metric = "mean_seconds";
+      d.baseline = b.mean_seconds;
+      d.current = c->mean_seconds;
+      d.rel_change = rel_change(b.mean_seconds, c->mean_seconds);
+      const double pooled =
+          std::sqrt(b.stddev_seconds * b.stddev_seconds +
+                    c->stddev_seconds * c->stddev_seconds);
+      d.allowed = std::max(opt.rel_tol * std::abs(b.mean_seconds),
+                           opt.stddev_k * pooled);
+      d.status = judge(c->mean_seconds - b.mean_seconds, d.allowed);
+      gate(std::move(d));
+    }
+
+    // Counters (GF/s, GB/s, ratios) are derived from the entry's timing,
+    // so they inherit its per-rep jitter: pool the relative spread of
+    // both runs the same way the timing window does.
+    const auto rel_spread = [](const BenchEntry& e) {
+      return e.mean_seconds > 0.0 ? e.stddev_seconds / e.mean_seconds : 0.0;
+    };
+    const double rel_noise =
+        std::sqrt(rel_spread(b) * rel_spread(b) +
+                  rel_spread(*c) * rel_spread(*c));
+    for (const auto& [cname, bval] : b.counters) {
+      MetricDelta d;
+      d.entry = b.name;
+      d.metric = cname;
+      d.baseline = bval;
+      const auto it = std::find_if(
+          c->counters.begin(), c->counters.end(),
+          [&](const auto& kv) { return kv.first == cname; });
+      if (it == c->counters.end()) {
+        d.status = DeltaStatus::removed;
+        gate(std::move(d));
+        continue;
+      }
+      d.current = it->second;
+      d.rel_change = rel_change(bval, it->second);
+      d.allowed = std::max(opt.rel_tol, opt.stddev_k * rel_noise) *
+                  std::abs(bval);
+      // Rates gate when they drop; everything else gates on any drift
+      // beyond the tolerance (direction unknown -> conservative).
+      const double worse = is_rate(cname) ? bval - it->second
+                                          : std::abs(it->second - bval);
+      d.status = judge(worse, d.allowed);
+      gate(std::move(d));
+    }
+    for (const auto& [cname, cval] : c->counters) {
+      const bool in_baseline = std::any_of(
+          b.counters.begin(), b.counters.end(),
+          [&](const auto& kv) { return kv.first == cname; });
+      if (in_baseline) continue;
+      MetricDelta d;
+      d.entry = b.name;
+      d.metric = cname;
+      d.status = DeltaStatus::added;
+      d.current = cval;
+      gate(std::move(d));
+    }
+  }
+
+  for (const BenchEntry& c : current.entries) {
+    if (!name_passes(c.name, opt) || baseline.find(c.name) != nullptr)
+      continue;
+    MetricDelta d;
+    d.entry = c.name;
+    d.metric = "(entry)";
+    d.status = DeltaStatus::added;
+    d.current = c.mean_seconds;
+    gate(std::move(d));
+  }
+
+  r.passed = r.n_regressions == 0;
+  return r;
+}
+
+std::string RegressResult::render() const {
+  std::ostringstream os;
+  if (schema_mismatch) {
+    os << "schema mismatch: baseline v" << baseline_schema << " vs current v"
+       << current_schema << " -> refusing to compare\n";
+    return os.str();
+  }
+  int compared = 0;
+  for (const MetricDelta& d : deltas) {
+    if (d.status == DeltaStatus::ok) {
+      ++compared;
+      continue;
+    }
+    char buf[256];
+    if (d.status == DeltaStatus::added) {
+      std::snprintf(buf, sizeof(buf), "%-10s %s %s (new metric, %.6g)\n",
+                    to_string(d.status), d.entry.c_str(), d.metric.c_str(),
+                    d.current);
+    } else if (d.status == DeltaStatus::removed) {
+      std::snprintf(buf, sizeof(buf), "%-10s %s %s (missing from current)\n",
+                    to_string(d.status), d.entry.c_str(), d.metric.c_str());
+    } else {
+      ++compared;
+      std::snprintf(buf, sizeof(buf),
+                    "%-10s %s %s %.6g -> %.6g (%+.1f%%, window ±%.3g)\n",
+                    to_string(d.status), d.entry.c_str(), d.metric.c_str(),
+                    d.baseline, d.current, 100.0 * d.rel_change, d.allowed);
+    }
+    os << buf;
+  }
+  os << "compared " << compared << " metrics: " << n_regressions
+     << " regression(s), " << n_improvements << " improvement(s) -> "
+     << (passed ? "PASS" : "FAIL") << "\n";
+  return os.str();
+}
+
+}  // namespace spmvm::obs

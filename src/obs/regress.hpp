@@ -1,0 +1,79 @@
+// Noise-aware regression gating between two bench reports.
+//
+// Benchmark timings jitter; a naive "is it slower than last time" gate
+// either cries wolf or needs tolerances so wide it misses real
+// regressions. compare() therefore allows each timing metric a window of
+//
+//   allowed = max(rel_tol · |baseline|, k · pooled_stddev)
+//
+// where pooled_stddev combines the per-rep standard deviations of both
+// runs — a run with visible jitter automatically earns a wider window,
+// while a deterministic model output (stddev 0) is held to rel_tol
+// alone. Counters carry no spread, so they use rel_tol only.
+//
+// Structural differences are never silent: entries or counters present
+// on only one side are reported as added/removed (removed gates by
+// default), and reports with different schema_version refuse to compare.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/bench_json.hpp"
+
+namespace spmvm::obs {
+
+struct RegressOptions {
+  double rel_tol = 0.05;    // relative tolerance per metric
+  double stddev_k = 3.0;    // noise window: k · pooled stddev
+  bool fail_on_removed = true;   // baseline metric missing from current
+  bool fail_on_schema = true;    // schema_version mismatch gates
+  /// Only entries whose name contains this substring are gated
+  /// (empty = all). Added/removed reporting is filtered the same way.
+  std::string name_filter;
+};
+
+enum class DeltaStatus {
+  ok,          // within the noise window
+  regression,  // worse beyond the window
+  improved,    // better beyond the window (informational)
+  added,       // metric only in the current report
+  removed,     // metric only in the baseline report
+};
+
+const char* to_string(DeltaStatus s);
+
+/// One compared metric: an entry's mean_seconds ("time") or a counter.
+struct MetricDelta {
+  std::string entry;    // benchmark entry name
+  std::string metric;   // "mean_seconds" or the counter name
+  DeltaStatus status = DeltaStatus::ok;
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel_change = 0.0;  // (current - baseline) / |baseline|
+  double allowed = 0.0;     // the absolute window this metric was given
+};
+
+struct RegressResult {
+  bool schema_mismatch = false;
+  int baseline_schema = 0;
+  int current_schema = 0;
+  std::vector<MetricDelta> deltas;
+
+  /// True when nothing gates under the options the comparison ran with.
+  bool passed = true;
+  int n_regressions = 0;
+  int n_improvements = 0;
+
+  /// Human-readable comparison table (one line per non-ok delta, plus a
+  /// summary line).
+  std::string render() const;
+};
+
+/// Compare `current` against `baseline`. Seconds are gated one-sided
+/// (slower = regression); rate-like counters (name ending in "/s") are
+/// gated one-sided downwards; all other counters two-sided.
+RegressResult compare(const BenchReport& baseline, const BenchReport& current,
+                      const RegressOptions& opt = {});
+
+}  // namespace spmvm::obs

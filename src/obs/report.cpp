@@ -1,0 +1,330 @@
+#include "obs/report.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/error.hpp"
+
+#if !defined(_WIN32)
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
+
+namespace spmvm::obs {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return "clang " + std::string(__clang_version__);
+#elif defined(__GNUC__)
+  return "gcc " + std::string(__VERSION__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string arch_id() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return "x86_64";
+#elif defined(__aarch64__)
+  return "aarch64";
+#elif defined(__riscv)
+  return "riscv";
+#else
+  return "unknown";
+#endif
+}
+
+std::string host_name() {
+#if !defined(_WIN32)
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+  return "unknown";
+}
+
+std::string os_id() {
+#if !defined(_WIN32)
+  utsname u{};
+  if (uname(&u) == 0)
+    return std::string(u.sysname) + " " + u.release + " " + u.machine;
+#endif
+  return "unknown";
+}
+
+// The build flags are injected by src/obs/CMakeLists.txt; stringified
+// through two macro levels so the flag *value* expands first.
+#define SPMVM_STR2(x) #x
+#define SPMVM_STR(x) SPMVM_STR2(x)
+std::string build_flags() {
+#if defined(SPMVM_CXX_FLAGS)
+  return SPMVM_STR(SPMVM_CXX_FLAGS);
+#else
+  return "unknown";
+#endif
+}
+#undef SPMVM_STR
+#undef SPMVM_STR2
+
+// ---- bench.json reader ---------------------------------------------------
+// A recursive-descent parser for the JSON subset BenchReport::to_json
+// emits (objects, arrays, strings, numbers); unknown keys are skipped so
+// future additive fields keep old readers working.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  BenchReport parse() {
+    BenchReport r;
+    r.schema_version = 0;  // pre-versioning files carry no field
+    skip_ws();
+    expect('{');
+    bool first = true;
+    while (!try_consume('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "schema_version") {
+        r.schema_version = static_cast<int>(parse_number());
+      } else if (key == "binary") {
+        r.binary = parse_string();
+      } else if (key == "metadata") {
+        parse_metadata(r);
+      } else if (key == "benchmarks") {
+        parse_benchmarks(r);
+      } else {
+        skip_value();
+      }
+    }
+    skip_ws();
+    SPMVM_REQUIRE(pos_ == s_.size(), "trailing characters after bench.json");
+    return r;
+  }
+
+ private:
+  void parse_metadata(BenchReport& r) {
+    expect('{');
+    bool first = true;
+    while (!try_consume('}')) {
+      if (!first) expect(',');
+      first = false;
+      std::string key = parse_string();
+      expect(':');
+      r.metadata.emplace_back(std::move(key), parse_string());
+    }
+  }
+
+  void parse_benchmarks(BenchReport& r) {
+    expect('[');
+    bool first = true;
+    while (!try_consume(']')) {
+      if (!first) expect(',');
+      first = false;
+      r.entries.push_back(parse_entry());
+    }
+  }
+
+  BenchEntry parse_entry() {
+    BenchEntry e;
+    expect('{');
+    bool first = true;
+    while (!try_consume('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "name") {
+        e.name = parse_string();
+      } else if (key == "repetitions") {
+        e.repetitions = static_cast<int>(parse_number());
+      } else if (key == "mean_seconds") {
+        e.mean_seconds = parse_number();
+      } else if (key == "median_seconds") {
+        e.median_seconds = parse_number();
+      } else if (key == "min_seconds") {
+        e.min_seconds = parse_number();
+      } else if (key == "max_seconds") {
+        e.max_seconds = parse_number();
+      } else if (key == "stddev_seconds") {
+        e.stddev_seconds = parse_number();
+      } else if (key == "counters") {
+        expect('{');
+        bool cfirst = true;
+        while (!try_consume('}')) {
+          if (!cfirst) expect(',');
+          cfirst = false;
+          std::string cname = parse_string();
+          expect(':');
+          e.counters.emplace_back(std::move(cname), parse_number());
+        }
+      } else {
+        skip_value();
+      }
+    }
+    return e;
+  }
+
+  void skip_value() {
+    skip_ws();
+    SPMVM_REQUIRE(pos_ < s_.size(), "unexpected end of bench.json");
+    const char c = s_[pos_];
+    if (c == '"') {
+      parse_string();
+    } else if (c == '{') {
+      ++pos_;
+      bool first = true;
+      while (!try_consume('}')) {
+        if (!first) expect(',');
+        first = false;
+        parse_string();
+        expect(':');
+        skip_value();
+      }
+    } else if (c == '[') {
+      ++pos_;
+      bool first = true;
+      while (!try_consume(']')) {
+        if (!first) expect(',');
+        first = false;
+        skip_value();
+      }
+    } else if (std::strchr("tfn", c) != nullptr) {
+      while (pos_ < s_.size() && std::isalpha(static_cast<unsigned char>(
+                                     s_[pos_])))
+        ++pos_;
+    } else {
+      parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        SPMVM_REQUIRE(pos_ < s_.size(), "unterminated escape in bench.json");
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u':
+            // The writer never emits \u; decode as a placeholder.
+            SPMVM_REQUIRE(pos_ + 4 <= s_.size(),
+                          "truncated \\u escape in bench.json");
+            pos_ += 4;
+            c = '?';
+            break;
+          default:
+            SPMVM_REQUIRE(false, "unknown escape in bench.json");
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* begin = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    SPMVM_REQUIRE(end != begin, "expected a number in bench.json");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    SPMVM_REQUIRE(pos_ < s_.size() && s_[pos_] == c,
+                  std::string("expected '") + c + "' in bench.json");
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> machine_fingerprint() {
+  return {
+      {"hostname", host_name()},
+      {"cores", std::to_string(std::thread::hardware_concurrency())},
+      {"compiler", compiler_id()},
+      {"arch", arch_id()},
+      {"os", os_id()},
+      {"cxx_flags", build_flags()},
+  };
+}
+
+BenchReport parse_bench_report(const std::string& json) {
+  return Parser(json).parse();
+}
+
+BenchReport load_bench_report(const std::string& path) {
+  std::ifstream in(path);
+  SPMVM_REQUIRE(static_cast<bool>(in), "cannot open bench report: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return parse_bench_report(os.str());
+}
+
+bool consume_json_flag(int* argc, char** argv, std::string* path,
+                       std::string* err) {
+  path->clear();
+  err->clear();
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      // Only consume a following non-flag token as the path, so a bare
+      // --json can't swallow the next option.
+      if (i + 1 >= *argc || argv[i + 1][0] == '-') {
+        *err = "--json requires a file path";
+        return false;
+      }
+      *path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      *path = argv[i] + 7;
+      if (path->empty()) {
+        *err = "--json requires a file path";
+        return false;
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return true;
+}
+
+}  // namespace spmvm::obs

@@ -1,0 +1,44 @@
+// Durable benchmark reports: the reader half of obs/bench_json plus the
+// run metadata that makes a BENCH_*.json self-describing.
+//
+// - machine_fingerprint() stamps a report with the host it ran on
+//   (hostname, cores, compiler, flags, OS), so a regression gate can
+//   tell "code got slower" apart from "different machine".
+// - parse_bench_report()/load_bench_report() read a report back —
+//   exactly the subset of JSON that BenchReport::to_json() emits — so
+//   obs/regress can diff two trajectory points without external
+//   dependencies.
+// - consume_json_flag() implements the benches' common `--json <path>`
+//   flag (bare or empty value rejected) in one place.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/bench_json.hpp"
+
+namespace spmvm::obs {
+
+/// Key/value description of the machine and build this process runs on:
+/// hostname, cores, compiler, compiler_version, arch, os, cxx_flags.
+/// Append to BenchReport::metadata so every report names its origin.
+std::vector<std::pair<std::string, std::string>> machine_fingerprint();
+
+/// Parse a bench.json document (the format BenchReport::to_json emits).
+/// Reports written before the schema_version field parse with
+/// schema_version 0. Throws spmvm::Error on malformed input.
+BenchReport parse_bench_report(const std::string& json);
+
+/// Read and parse `path`; throws spmvm::Error on I/O or parse failure.
+BenchReport load_bench_report(const std::string& path);
+
+/// Strip a `--json <path>` / `--json=<path>` flag from argv in place
+/// (argc is updated; remaining arguments keep their order, so the
+/// caller can hand them to its own parser, e.g. google-benchmark).
+/// Returns false with *err set when the flag is present but has no
+/// value (a bare `--json` never swallows a following `--flag`).
+bool consume_json_flag(int* argc, char** argv, std::string* path,
+                       std::string* err);
+
+}  // namespace spmvm::obs

@@ -5,6 +5,15 @@
 
 namespace spmvm::perfmodel {
 
+double deviation_pct(double predicted, double reference) {
+  if (reference == 0.0) return 0.0;
+  return 100.0 * (predicted - reference) / reference;
+}
+
+double ModelVsSim::model_vs_sim_pct() const {
+  return deviation_pct(gflops_model, gflops_sim);
+}
+
 template <class T>
 ModelVsSim evaluate(const gpusim::DeviceSpec& dev, const Csr<T>& a,
                     gpusim::FormatKind kind, bool ecc) {
@@ -18,6 +27,7 @@ ModelVsSim evaluate(const gpusim::DeviceSpec& dev, const Csr<T>& a,
   r.gflops_model =
       bandwidth_bound_gflops(dev.bandwidth_bytes(ecc) / 1e9, r.balance_model);
   r.gflops_sim = sim.gflops;
+  r.sim_seconds = sim.seconds;
   r.gflops_with_pcie =
       gpusim::with_pcie_transfers(dev, sim, a.n_rows, a.n_cols, sizeof(T))
           .gflops_total;

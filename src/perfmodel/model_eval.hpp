@@ -15,7 +15,17 @@ struct ModelVsSim {
   double gflops_model = 0.0;       // bandwidth / balance
   double gflops_sim = 0.0;         // simulator throughput
   double gflops_with_pcie = 0.0;   // simulator incl. host transfers
+  double sim_seconds = 0.0;        // simulated kernel wall clock
+
+  /// Signed deviation of the Eq. 1 prediction from the simulator, in %
+  /// of the simulated value — the per-matrix cell of the suite's
+  /// model-vs-measured validation table.
+  double model_vs_sim_pct() const;
 };
+
+/// Signed relative deviation 100·(predicted - reference)/reference; 0
+/// when the reference is 0.
+double deviation_pct(double predicted, double reference);
 
 /// Run format `kind` through the simulator and evaluate Eq. 1 at the α
 /// the simulator measured — the apples-to-apples comparison behind the

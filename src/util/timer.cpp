@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/error.hpp"
 #include "util/stats.hpp"
 
 namespace spmvm {
 
 double measure_seconds(double min_seconds, int min_reps, void (*fn)(void*),
                        void* ctx) {
+  SPMVM_REQUIRE(min_reps >= 1, "measure_seconds needs at least 1 repetition");
+  SPMVM_REQUIRE(min_seconds >= 0.0, "negative measurement duration");
   // Warm-up run (touch caches, fault pages).
   fn(ctx);
   int reps = 0;
@@ -22,6 +25,9 @@ double measure_seconds(double min_seconds, int min_reps, void (*fn)(void*),
 
 MeasureStats measure_seconds_stats(double min_seconds, int min_reps,
                                    void (*fn)(void*), void* ctx) {
+  SPMVM_REQUIRE(min_reps >= 1,
+                "measure_seconds_stats needs at least 1 repetition");
+  SPMVM_REQUIRE(min_seconds >= 0.0, "negative measurement duration");
   // Warm-up run (touch caches, fault pages).
   fn(ctx);
   std::vector<double> samples;

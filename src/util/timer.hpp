@@ -24,6 +24,7 @@ class Timer {
 
 /// Run `fn` repeatedly for at least `min_seconds` (and at least `min_reps`
 /// repetitions) and return the average seconds per invocation.
+/// `min_reps` must be >= 1 (throws spmvm::Error otherwise).
 double measure_seconds(double min_seconds, int min_reps, void (*fn)(void*),
                        void* ctx);
 
@@ -48,7 +49,9 @@ struct MeasureStats {
 };
 
 /// Like measure_seconds, but times every repetition individually and
-/// reports the spread across them.
+/// reports the spread across them. `min_reps` must be >= 1 (throws
+/// spmvm::Error otherwise); with a single repetition the stddev is 0,
+/// never NaN.
 MeasureStats measure_seconds_stats(double min_seconds, int min_reps,
                                    void (*fn)(void*), void* ctx);
 

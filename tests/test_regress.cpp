@@ -1,0 +1,198 @@
+#include "obs/regress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spmvm::obs {
+namespace {
+
+BenchEntry entry(const std::string& name, double mean, double stddev,
+                 std::vector<std::pair<std::string, double>> counters = {}) {
+  BenchEntry e;
+  e.name = name;
+  e.repetitions = 5;
+  e.mean_seconds = mean;
+  e.median_seconds = mean;
+  e.min_seconds = mean - stddev;
+  e.max_seconds = mean + stddev;
+  e.stddev_seconds = stddev;
+  e.counters = std::move(counters);
+  return e;
+}
+
+BenchReport report(std::vector<BenchEntry> entries) {
+  BenchReport r;
+  r.binary = "test";
+  r.entries = std::move(entries);
+  return r;
+}
+
+const MetricDelta* find_delta(const RegressResult& r, const std::string& entry,
+                              const std::string& metric) {
+  for (const MetricDelta& d : r.deltas)
+    if (d.entry == entry && d.metric == metric) return &d;
+  return nullptr;
+}
+
+TEST(Regress, DetectsTimingRegression) {
+  const auto base = report({entry("host/csr", 1.0, 0.001)});
+  const auto cur = report({entry("host/csr", 1.3, 0.001)});
+  const RegressResult r = compare(base, cur);
+  EXPECT_FALSE(r.passed);
+  EXPECT_EQ(r.n_regressions, 1);
+  const MetricDelta* d = find_delta(r, "host/csr", "mean_seconds");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->status, DeltaStatus::regression);
+  EXPECT_NEAR(d->rel_change, 0.3, 1e-9);
+}
+
+TEST(Regress, NoiseWindowAbsorbsJitter) {
+  // +8% mean shift, but both runs carry 5% per-rep stddev: the pooled
+  // noise window (3·sqrt(2)·0.05 ≈ 0.21) absorbs it.
+  const auto base = report({entry("host/csr", 1.0, 0.05)});
+  const auto cur = report({entry("host/csr", 1.08, 0.05)});
+  const RegressResult r = compare(base, cur);
+  EXPECT_TRUE(r.passed);
+  const MetricDelta* d = find_delta(r, "host/csr", "mean_seconds");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->status, DeltaStatus::ok);
+  EXPECT_GT(d->allowed, 0.08);
+}
+
+TEST(Regress, DeterministicMetricHeldToRelTol) {
+  // stddev 0 (a model output): only rel_tol applies.
+  const auto base = report({entry("model/DLR1", 1.0, 0.0)});
+  EXPECT_TRUE(compare(base, report({entry("model/DLR1", 1.04, 0.0)})).passed);
+  EXPECT_FALSE(compare(base, report({entry("model/DLR1", 1.06, 0.0)})).passed);
+}
+
+TEST(Regress, ImprovementDoesNotGate) {
+  const auto base = report({entry("host/csr", 1.0, 0.001)});
+  const auto cur = report({entry("host/csr", 0.5, 0.001)});
+  const RegressResult r = compare(base, cur);
+  EXPECT_TRUE(r.passed);
+  EXPECT_EQ(r.n_improvements, 1);
+  EXPECT_EQ(find_delta(r, "host/csr", "mean_seconds")->status,
+            DeltaStatus::improved);
+}
+
+TEST(Regress, SameRunPassesItself) {
+  const auto base = report({entry("host/csr", 1.0, 0.02,
+                                  {{"GF/s", 12.0}, {"alpha", 0.4}}),
+                            entry("model/DLR1", 0.001, 0.0)});
+  const RegressResult r = compare(base, base);
+  EXPECT_TRUE(r.passed);
+  EXPECT_EQ(r.n_regressions, 0);
+  EXPECT_EQ(r.n_improvements, 0);
+}
+
+TEST(Regress, RemovedEntryGatesByDefault) {
+  const auto base =
+      report({entry("host/csr", 1.0, 0.0), entry("host/jds", 1.0, 0.0)});
+  const auto cur = report({entry("host/csr", 1.0, 0.0)});
+  const RegressResult r = compare(base, cur);
+  EXPECT_FALSE(r.passed);
+  const MetricDelta* d = find_delta(r, "host/jds", "(entry)");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->status, DeltaStatus::removed);
+
+  RegressOptions opt;
+  opt.fail_on_removed = false;
+  EXPECT_TRUE(compare(base, cur, opt).passed);
+}
+
+TEST(Regress, AddedEntryIsInformational) {
+  const auto base = report({entry("host/csr", 1.0, 0.0)});
+  const auto cur =
+      report({entry("host/csr", 1.0, 0.0), entry("host/new", 1.0, 0.0)});
+  const RegressResult r = compare(base, cur);
+  EXPECT_TRUE(r.passed);
+  EXPECT_EQ(find_delta(r, "host/new", "(entry)")->status, DeltaStatus::added);
+}
+
+TEST(Regress, RemovedCounterGatesAddedCounterDoesNot) {
+  const auto base = report({entry("host/csr", 1.0, 0.0, {{"GF/s", 10.0}})});
+  const auto cur = report({entry("host/csr", 1.0, 0.0, {{"GB/s", 80.0}})});
+  const RegressResult r = compare(base, cur);
+  EXPECT_FALSE(r.passed);
+  EXPECT_EQ(find_delta(r, "host/csr", "GF/s")->status, DeltaStatus::removed);
+  EXPECT_EQ(find_delta(r, "host/csr", "GB/s")->status, DeltaStatus::added);
+}
+
+TEST(Regress, RateCounterGatesOnDropOnly) {
+  const auto base = report({entry("host/csr", 1.0, 0.0, {{"GF/s", 10.0}})});
+  EXPECT_FALSE(
+      compare(base, report({entry("host/csr", 1.0, 0.0, {{"GF/s", 8.0}})}))
+          .passed);
+  const RegressResult up =
+      compare(base, report({entry("host/csr", 1.0, 0.0, {{"GF/s", 12.0}})}));
+  EXPECT_TRUE(up.passed);
+  EXPECT_EQ(find_delta(up, "host/csr", "GF/s")->status, DeltaStatus::improved);
+}
+
+TEST(Regress, CounterWindowInheritsTimingNoise) {
+  // Counters derive from the entry's timing, so a jittery entry earns a
+  // wider counter window: a -20% GF/s drop passes under 10% per-run
+  // timing noise (3·sqrt(2)·10% ≈ 42% window) but gates when quiet.
+  const auto base = report({entry("host/csr", 1.0, 0.1, {{"GF/s", 10.0}})});
+  const auto cur = report({entry("host/csr", 1.0, 0.1, {{"GF/s", 8.0}})});
+  EXPECT_TRUE(compare(base, cur).passed);
+  const auto qbase = report({entry("host/csr", 1.0, 0.0, {{"GF/s", 10.0}})});
+  const auto qcur = report({entry("host/csr", 1.0, 0.0, {{"GF/s", 8.0}})});
+  EXPECT_FALSE(compare(qbase, qcur).passed);
+}
+
+TEST(Regress, NonRateCounterGatesOnAnyDrift) {
+  const auto base = report({entry("model/DLR1", 1.0, 0.0, {{"alpha", 0.50}})});
+  EXPECT_FALSE(
+      compare(base, report({entry("model/DLR1", 1.0, 0.0, {{"alpha", 0.70}})}))
+          .passed);
+  EXPECT_FALSE(
+      compare(base, report({entry("model/DLR1", 1.0, 0.0, {{"alpha", 0.30}})}))
+          .passed);
+  EXPECT_TRUE(
+      compare(base, report({entry("model/DLR1", 1.0, 0.0, {{"alpha", 0.51}})}))
+          .passed);
+}
+
+TEST(Regress, SchemaMismatchRefusesToCompare) {
+  auto base = report({entry("host/csr", 1.0, 0.0)});
+  auto cur = report({entry("host/csr", 5.0, 0.0)});  // would be a regression
+  base.schema_version = 0;
+  const RegressResult r = compare(base, cur);
+  EXPECT_TRUE(r.schema_mismatch);
+  EXPECT_FALSE(r.passed);
+  EXPECT_TRUE(r.deltas.empty());  // no metric diff across layouts
+  EXPECT_NE(r.render().find("schema mismatch"), std::string::npos);
+
+  RegressOptions opt;
+  opt.fail_on_schema = false;
+  EXPECT_TRUE(compare(base, cur, opt).passed);
+}
+
+TEST(Regress, NameFilterLimitsGating) {
+  const auto base =
+      report({entry("host/csr", 1.0, 0.0), entry("model/DLR1", 1.0, 0.0)});
+  const auto cur =
+      report({entry("host/csr", 9.0, 0.0), entry("model/DLR1", 1.0, 0.0)});
+  RegressOptions opt;
+  opt.name_filter = "model/";
+  const RegressResult r = compare(base, cur, opt);
+  EXPECT_TRUE(r.passed);
+  EXPECT_EQ(find_delta(r, "host/csr", "mean_seconds"), nullptr);
+}
+
+TEST(Regress, RenderNamesTheRegression) {
+  const auto base = report({entry("host/csr", 1.0, 0.0)});
+  const auto cur = report({entry("host/csr", 2.0, 0.0)});
+  const std::string text = compare(base, cur).render();
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("host/csr"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  const std::string ok = compare(base, base).render();
+  EXPECT_NE(ok.find("PASS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spmvm::obs
