@@ -6,7 +6,7 @@
 //  3. why ELLPACK-style formats exist at all: CSR-scalar on the GPU.
 #include <cstdio>
 
-#include "core/footprint.hpp"
+#include "sparse/footprint.hpp"
 #include "gpusim/gpu_spmv.hpp"
 #include "matgen/suite.hpp"
 #include "sparse/bellpack.hpp"

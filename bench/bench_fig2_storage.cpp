@@ -1,12 +1,14 @@
-// Fig. 2 reproduction: storage size and scheduling overhead of ELLPACK,
-// ELLPACK-R and pJDS, plus the device-memory consequence the paper
-// highlights: DLR2 in double precision fits a 3 GB Tesla C2050 only in
-// the pJDS format.
+// Fig. 2 reproduction: storage size and scheduling overhead per storage
+// format, plus the device-memory consequence the paper highlights: DLR2
+// in double precision fits a 3 GB Tesla C2050 only in the pJDS format.
+//
+// The formats are enumerated from the registry — every entry with a
+// simulated kernel gets a row (the paper's ELLPACK / ELLPACK-R / pJDS
+// trio plus whatever else is registered).
 #include <cstdio>
 #include <string>
 
-#include "core/footprint.hpp"
-#include "gpusim/gpu_spmv.hpp"
+#include "formats/registry.hpp"
 #include "matgen/suite.hpp"
 #include "obs/report.hpp"
 #include "util/ascii.hpp"
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
   AsciiTable t({"matrix", "format", "stored entries", "fill %",
                 "warp efficiency %", "GF/s (DP,ECC)"});
   const auto dev = gpusim::DeviceSpec::tesla_c2070();
+  const auto& reg = formats::registry<double>();
   struct Item {
     const char* name;
     double scale;
@@ -39,33 +42,30 @@ int main(int argc, char** argv) {
   for (const auto& [name, scale] : {Item{"DLR1", 16}, Item{"DLR2", 32},
                                     Item{"HMEp", 64}, Item{"sAMG", 64}}) {
     const auto a = make_named(name, scale).matrix;
-    const auto ell = Ellpack<double>::from_csr(a, 32);
-    const auto pjds = Pjds<double>::from_csr(a);
     auto sdev = dev;  // scale the L2 with the matrix (see DESIGN.md)
     sdev.l2_bytes = static_cast<std::size_t>(
         static_cast<double>(dev.l2_bytes) / scale);
 
-    const auto add = [&](const char* fname, gpusim::FormatKind kind,
-                         const Footprint& f) {
-      const auto r = gpusim::simulate_format(sdev, a, kind);
+    for (const formats::FormatInfo& info : reg.list()) {
+      if (!info.has_sim_kernel) continue;
+      const auto plan = reg.build(info.name, a);
+      const auto r = plan->simulate(sdev);
+      const Footprint f = plan->footprint();
       const double fill =
           f.stored_entries == 0
               ? 0.0
               : 100.0 * static_cast<double>(f.stored_entries - f.true_nnz) /
                     static_cast<double>(f.stored_entries);
-      t.add_row({name, fname, fmt_count(f.stored_entries), fmt(fill, 1),
-                 fmt(100.0 * r.stats.warp_efficiency(), 1),
-                 fmt(r.gflops, 1)});
+      t.add_row({name, info.name, fmt_count(f.stored_entries), fmt(fill, 1),
+                 fmt(100.0 * r->stats.warp_efficiency(), 1),
+                 fmt(r->gflops, 1)});
       report.entries.push_back(obs::summarize_samples(
-          std::string("fig2/") + name + "/" + fname, {},
+          std::string("fig2/") + name + "/" + info.name, {},
           {{"stored_entries", static_cast<double>(f.stored_entries)},
            {"fill_pct", fill},
-           {"warp_efficiency_pct", 100.0 * r.stats.warp_efficiency()},
-           {"GF/s", r.gflops}}));
-    };
-    add("ELLPACK", gpusim::FormatKind::ellpack, footprint(ell, false));
-    add("ELLPACK-R", gpusim::FormatKind::ellpack_r, footprint(ell, true));
-    add("pJDS", gpusim::FormatKind::pjds, footprint(pjds));
+           {"warp_efficiency_pct", 100.0 * r->stats.warp_efficiency()},
+           {"GF/s", r->gflops}}));
+    }
   }
   std::printf("%s\n", t.render().c_str());
   std::printf("(white boxes of Fig. 2 = fill %%; light boxes = 100%% - warp "
@@ -79,14 +79,16 @@ int main(int argc, char** argv) {
   const auto dlr2 = make_named("DLR2", scale).matrix;
   const auto c2050 = gpusim::DeviceSpec::tesla_c2050();
   AsciiTable cap({"format", "full-scale device GB", "fits 3 GB C2050?"});
-  for (const auto kind : {gpusim::FormatKind::ellpack, gpusim::FormatKind::ellpack_r,
-                          gpusim::FormatKind::pjds}) {
-    const double gb = static_cast<double>(gpusim::device_bytes(dlr2, kind)) *
-                      scale / 1e9;
+  for (const formats::FormatInfo& info : reg.list()) {
+    if (!info.has_sim_kernel) continue;
+    const auto plan = reg.build(info.name, dlr2);
+    const double gb =
+        static_cast<double>(plan->footprint().total_bytes(sizeof(double))) *
+        scale / 1e9;
     const bool fits = gb * 1e9 <= static_cast<double>(c2050.dram_bytes);
-    cap.add_row({gpusim::to_string(kind), fmt(gb, 2), fits ? "yes" : "NO"});
+    cap.add_row({info.name, fmt(gb, 2), fits ? "yes" : "NO"});
     report.entries.push_back(obs::summarize_samples(
-        std::string("fig2/capacity_dlr2/") + gpusim::to_string(kind), {},
+        std::string("fig2/capacity_dlr2/") + info.name, {},
         {{"device_gb_full_scale", gb}, {"fits_c2050", fits ? 1.0 : 0.0}}));
   }
   std::printf("%s\n", cap.render().c_str());

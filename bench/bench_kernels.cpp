@@ -1,13 +1,18 @@
 // google-benchmark microbenchmarks of the *host* spMVM kernels for every
 // storage format (the CPU reference implementations behind the library).
 //
+// The per-format benchmarks are registered dynamically from the format
+// registry, so adding a format to formats/registry.cpp adds its
+// spmv/<name> rows here with no bench change. `--list-formats` prints
+// the registry; `--format=<name>` restricts the run to one format.
+//
 // Each benchmark reports GF/s (2·nnz flops per product) and the
 // effective memory bandwidth GB/s derived from the format's device
-// footprint (core/footprint) plus one RHS read and one LHS write — the
-// number to compare against the machine's STREAM limit, since spMVM is
-// bandwidth-bound (Eq. 1).
+// footprint (the plan's accounting) plus one RHS read and one LHS
+// write — the number to compare against the machine's STREAM limit,
+// since spMVM is bandwidth-bound (Eq. 1).
 //
-// The `Seed*` variants re-implement the original fork-join runtime
+// The `seed/` variants re-implement the original fork-join runtime
 // (fresh std::threads spawned per call, equal row-count chunks) and the
 // pre-vectorization row-major kernels, so pooled-vs-fork-join and
 // balanced-vs-static comparisons stay regenerable from this binary
@@ -15,17 +20,18 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <cstring>
+#include <cstdio>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
-#include "core/footprint.hpp"
-#include "obs/report.hpp"
-#include "core/pjds_spmv.hpp"
 #include "core/spmmv.hpp"
+#include "formats/plans.hpp"
+#include "formats/registry.hpp"
 #include "matgen/generators.hpp"
-#include "sparse/spmv_host.hpp"
+#include "obs/report.hpp"
 
 using namespace spmvm;
 
@@ -68,8 +74,14 @@ std::size_t vector_bytes(const Csr<double>& a) {
          sizeof(double);
 }
 
+std::size_t product_bytes(const formats::FormatPlan<double>& plan) {
+  return plan.footprint().total_bytes(sizeof(double)) +
+         vector_bytes(test_matrix());
+}
+
 // ---- Seed (pre-pool) runtime and kernels, kept as the comparison
-// ---- baseline for EXPERIMENTS.md.
+// ---- baseline for EXPERIMENTS.md. The raw format arrays come from the
+// ---- registry-built plans' typed accessors (formats/plans.hpp).
 namespace seed {
 
 /// The original fork-join parallel_for: spawn + join per call, equal
@@ -155,22 +167,24 @@ void spmv_pjds(const Pjds<double>& a, const std::vector<double>& x,
 
 }  // namespace seed
 
-// ---- CSR -----------------------------------------------------------------
+using PlanPtr = std::shared_ptr<const formats::FormatPlan<double>>;
 
-void BM_SpmvCsr(benchmark::State& state) {
+// ---- registry sweep: y = A·x through every plan --------------------------
+
+void bm_plan_spmv(benchmark::State& state, const PlanPtr& plan) {
   const auto& a = test_matrix();
   const int threads = static_cast<int>(state.range(0));
   Vectors v(a);
   for (auto _ : state) {
-    spmv(a, std::span<const double>(v.x), std::span<double>(v.y), threads);
+    plan->spmv(std::span<const double>(v.x), std::span<double>(v.y), threads);
     benchmark::DoNotOptimize(v.y.data());
   }
-  report(state, a.nnz(),
-         footprint(a).total_bytes(sizeof(double)) + vector_bytes(a));
+  report(state, plan->nnz(), product_bytes(*plan));
 }
-BENCHMARK(BM_SpmvCsr)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
-void BM_SeedSpmvCsrForkJoin(benchmark::State& state) {
+// ---- seed fork-join baselines --------------------------------------------
+
+void bm_seed_csr(benchmark::State& state) {
   const auto& a = test_matrix();
   const int threads = static_cast<int>(state.range(0));
   Vectors v(a);
@@ -178,136 +192,65 @@ void BM_SeedSpmvCsrForkJoin(benchmark::State& state) {
     seed::spmv_csr(a, v.x, v.y, threads);
     benchmark::DoNotOptimize(v.y.data());
   }
-  report(state, a.nnz(),
-         footprint(a).total_bytes(sizeof(double)) + vector_bytes(a));
+  report(state, a.nnz(), product_bytes(*formats::registry<double>().build(
+                             "csr", a)));
 }
-BENCHMARK(BM_SeedSpmvCsrForkJoin)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
-// ---- ELLPACK family ------------------------------------------------------
-
-void BM_SpmvEllpackPlain(benchmark::State& state) {
-  const auto& a = test_matrix();
-  const auto e = Ellpack<double>::from_csr(a, 32);
-  Vectors v(a);
-  for (auto _ : state) {
-    spmv_ellpack(e, std::span<const double>(v.x), std::span<double>(v.y));
-    benchmark::DoNotOptimize(v.y.data());
-  }
-  report(state, a.nnz(),
-         footprint(e, false).total_bytes(sizeof(double)) + vector_bytes(a));
-}
-BENCHMARK(BM_SpmvEllpackPlain);
-
-void BM_SpmvEllpackR(benchmark::State& state) {
+void bm_seed_sliced_ell(benchmark::State& state, const PlanPtr& plan) {
   const auto& a = test_matrix();
   const int threads = static_cast<int>(state.range(0));
-  const auto e = Ellpack<double>::from_csr(a, 32);
-  Vectors v(a);
-  for (auto _ : state) {
-    spmv_ellpack_r(e, std::span<const double>(v.x), std::span<double>(v.y),
-                   threads);
-    benchmark::DoNotOptimize(v.y.data());
-  }
-  report(state, a.nnz(),
-         footprint(e, true).total_bytes(sizeof(double)) + vector_bytes(a));
-}
-BENCHMARK(BM_SpmvEllpackR)->Arg(1)->Arg(4);
-
-void BM_SpmvJds(benchmark::State& state) {
-  const auto& a = test_matrix();
-  const auto j = Jds<double>::from_csr(a, PermuteColumns::yes);
-  Vectors v(a);
-  for (auto _ : state) {
-    spmv(j, std::span<const double>(v.x), std::span<double>(v.y));
-    benchmark::DoNotOptimize(v.y.data());
-  }
-  report(state, a.nnz(),
-         footprint(j).total_bytes(sizeof(double)) + vector_bytes(a));
-}
-BENCHMARK(BM_SpmvJds);
-
-// ---- sliced ELLPACK ------------------------------------------------------
-
-void BM_SpmvSlicedEll(benchmark::State& state) {
-  const auto& a = test_matrix();
-  const int threads = static_cast<int>(state.range(0));
-  const auto s = SlicedEll<double>::from_csr(a, 32);
-  Vectors v(a);
-  for (auto _ : state) {
-    spmv(s, std::span<const double>(v.x), std::span<double>(v.y), threads);
-    benchmark::DoNotOptimize(v.y.data());
-  }
-  report(state, a.nnz(),
-         footprint(s).total_bytes(sizeof(double)) + vector_bytes(a));
-}
-BENCHMARK(BM_SpmvSlicedEll)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
-
-void BM_SeedSpmvSlicedEllForkJoin(benchmark::State& state) {
-  const auto& a = test_matrix();
-  const int threads = static_cast<int>(state.range(0));
-  const auto s = SlicedEll<double>::from_csr(a, 32);
+  const auto& s =
+      dynamic_cast<const formats::SlicedEllPlan<double>&>(*plan).format();
   Vectors v(a);
   for (auto _ : state) {
     seed::spmv_sliced_ell(s, v.x, v.y, threads);
     benchmark::DoNotOptimize(v.y.data());
   }
-  report(state, a.nnz(),
-         footprint(s).total_bytes(sizeof(double)) + vector_bytes(a));
+  report(state, a.nnz(), product_bytes(*plan));
 }
-BENCHMARK(BM_SeedSpmvSlicedEllForkJoin)->Arg(1)->Arg(4);
 
-// ---- pJDS ----------------------------------------------------------------
-
-void BM_SpmvPjds(benchmark::State& state) {
+void bm_seed_pjds(benchmark::State& state, const PlanPtr& plan) {
   const auto& a = test_matrix();
   const int threads = static_cast<int>(state.range(0));
-  PjdsOptions opt;
-  opt.block_rows = 32;
-  const auto p = Pjds<double>::from_csr(a, opt);
-  Vectors v(a);
-  for (auto _ : state) {
-    spmv(p, std::span<const double>(v.x), std::span<double>(v.y), threads);
-    benchmark::DoNotOptimize(v.y.data());
-  }
-  report(state, a.nnz(),
-         footprint(p).total_bytes(sizeof(double)) + vector_bytes(a));
-}
-BENCHMARK(BM_SpmvPjds)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
-
-void BM_SeedSpmvPjdsForkJoin(benchmark::State& state) {
-  const auto& a = test_matrix();
-  const int threads = static_cast<int>(state.range(0));
-  PjdsOptions opt;
-  opt.block_rows = 32;
-  const auto p = Pjds<double>::from_csr(a, opt);
+  const auto& p =
+      dynamic_cast<const formats::PjdsPlan<double>&>(*plan).format();
   Vectors v(a);
   for (auto _ : state) {
     seed::spmv_pjds(p, v.x, v.y, threads);
     benchmark::DoNotOptimize(v.y.data());
   }
-  report(state, a.nnz(),
-         footprint(p).total_bytes(sizeof(double)) + vector_bytes(a));
+  report(state, a.nnz(), product_bytes(*plan));
 }
-BENCHMARK(BM_SeedSpmvPjdsForkJoin)->Arg(1)->Arg(4);
 
-void BM_SpmvPjdsBlockRows(benchmark::State& state) {
+// ---- pJDS block_rows sweep and build cost --------------------------------
+
+void bm_pjds_block_rows(benchmark::State& state) {
   const auto& a = test_matrix();
-  PjdsOptions opt;
-  opt.block_rows = static_cast<index_t>(state.range(0));
-  const auto p = Pjds<double>::from_csr(a, opt);
+  formats::PlanOptions opt;
+  opt.chunk = static_cast<index_t>(state.range(0));
+  const auto plan = formats::registry<double>().build("pjds", a, opt);
   Vectors v(a);
   for (auto _ : state) {
-    spmv(p, std::span<const double>(v.x), std::span<double>(v.y));
+    plan->spmv(std::span<const double>(v.x), std::span<double>(v.y));
     benchmark::DoNotOptimize(v.y.data());
   }
-  report(state, a.nnz(),
-         footprint(p).total_bytes(sizeof(double)) + vector_bytes(a));
+  report(state, plan->nnz(), product_bytes(*plan));
 }
-BENCHMARK(BM_SpmvPjdsBlockRows)->Arg(1)->Arg(32)->Arg(128);
+
+void bm_pjds_build(benchmark::State& state) {
+  const auto& a = test_matrix();
+  for (auto _ : state) {
+    auto plan = formats::registry<double>().build("pjds", a);
+    benchmark::DoNotOptimize(plan.get());
+  }
+  state.counters["nnz/s"] = benchmark::Counter(
+      static_cast<double>(a.nnz()) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
 
 // ---- multi-vector --------------------------------------------------------
 
-void BM_SpmmvCsr(benchmark::State& state) {
+void bm_spmmv_csr(benchmark::State& state) {
   const auto& a = test_matrix();
   const int k = static_cast<int>(state.range(0));
   const int threads = static_cast<int>(state.range(1));
@@ -318,26 +261,69 @@ void BM_SpmmvCsr(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data());
   }
   report(state, a.nnz() * k,
-         footprint(a).total_bytes(sizeof(double)) +
-             static_cast<std::size_t>(k) * vector_bytes(a));
+         product_bytes(*formats::registry<double>().build("csr", a)) +
+             static_cast<std::size_t>(k - 1) * vector_bytes(a));
 }
-BENCHMARK(BM_SpmmvCsr)
-    ->Args({1, 1})
-    ->Args({4, 1})
-    ->Args({8, 1})
-    ->Args({4, 4});
 
-void BM_PjdsBuild(benchmark::State& state) {
+/// Register everything, honoring the --format restriction. Plans are
+/// built once up front and shared by the registered closures.
+void register_benchmarks(const std::string& only_format) {
   const auto& a = test_matrix();
-  for (auto _ : state) {
-    auto p = Pjds<double>::from_csr(a);
-    benchmark::DoNotOptimize(p.val.data());
+  const auto& reg = formats::registry<double>();
+  const auto want = [&](std::string_view name) {
+    return only_format.empty() || only_format == name;
+  };
+
+  for (const formats::FormatInfo& info : reg.list()) {
+    // `auto` probes every other format at build time; keep it out of the
+    // default sweep but allow --format=auto explicitly.
+    if (std::string_view(info.name) == "auto" && only_format != "auto")
+      continue;
+    if (!want(info.name)) continue;
+    const PlanPtr plan = reg.build(info.name, a);
+    benchmark::RegisterBenchmark(
+        (std::string("spmv/") + info.name).c_str(),
+        [plan](benchmark::State& s) { bm_plan_spmv(s, plan); })
+        ->Arg(1)
+        ->Arg(2)
+        ->Arg(4)
+        ->Arg(8);
   }
-  state.counters["nnz/s"] = benchmark::Counter(
-      static_cast<double>(a.nnz()) * static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+
+  if (want("csr")) {
+    benchmark::RegisterBenchmark("seed/spmv/csr_forkjoin", bm_seed_csr)
+        ->Arg(1)
+        ->Arg(2)
+        ->Arg(4)
+        ->Arg(8);
+    benchmark::RegisterBenchmark("spmmv/csr", bm_spmmv_csr)
+        ->Args({1, 1})
+        ->Args({4, 1})
+        ->Args({8, 1})
+        ->Args({4, 4});
+  }
+  if (want("sliced_ell")) {
+    const PlanPtr sell = reg.build("sliced_ell", a);
+    benchmark::RegisterBenchmark(
+        "seed/spmv/sliced_ell_forkjoin",
+        [sell](benchmark::State& s) { bm_seed_sliced_ell(s, sell); })
+        ->Arg(1)
+        ->Arg(4);
+  }
+  if (want("pjds")) {
+    const PlanPtr pjds = reg.build("pjds", a);
+    benchmark::RegisterBenchmark(
+        "seed/spmv/pjds_forkjoin",
+        [pjds](benchmark::State& s) { bm_seed_pjds(s, pjds); })
+        ->Arg(1)
+        ->Arg(4);
+    benchmark::RegisterBenchmark("spmv/pjds/block_rows", bm_pjds_block_rows)
+        ->Arg(1)
+        ->Arg(32)
+        ->Arg(128);
+    benchmark::RegisterBenchmark("build/pjds", bm_pjds_build);
+  }
 }
-BENCHMARK(BM_PjdsBuild);
 
 /// Console output plus capture of every non-aggregate run for the
 /// bench.json report: per-iteration real time becomes the sample, rate
@@ -367,12 +353,27 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip our own --json flag before google-benchmark parses the rest.
-  std::string json_path, err;
-  if (!obs::consume_json_flag(&argc, argv, &json_path, &err)) {
+  // Strip our own flags before google-benchmark parses the rest.
+  std::string json_path, only_format, err;
+  if (!obs::consume_json_flag(&argc, argv, &json_path, &err) ||
+      !obs::consume_value_flag(&argc, argv, "--format", &only_format, &err)) {
     std::fprintf(stderr, "error: %s\n", err.c_str());
     return 1;
   }
+  if (obs::consume_switch(&argc, argv, "--list-formats")) {
+    for (const auto& info : formats::registry<double>().list())
+      std::printf("%-12s  %s\n", info.name, info.description);
+    return 0;
+  }
+  if (!only_format.empty() &&
+      formats::registry<double>().find(only_format) == nullptr) {
+    std::fprintf(stderr,
+                 "error: unknown format '%s' (try --list-formats)\n",
+                 only_format.c_str());
+    return 1;
+  }
+
+  register_benchmarks(only_format);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
 
@@ -387,6 +388,8 @@ int main(int argc, char** argv) {
         "hardware_threads",
         std::to_string(std::thread::hardware_concurrency()));
     report.metadata.emplace_back("scale", "128");
+    if (!only_format.empty())
+      report.metadata.emplace_back("format", only_format);
     report.entries = std::move(reporter.entries);
     if (!report.write(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

@@ -5,9 +5,8 @@
 #include <string_view>
 #include <vector>
 
-#include "core/footprint.hpp"
-#include "core/pjds_spmv.hpp"
 #include "dist/cluster_model.hpp"
+#include "formats/registry.hpp"
 #include "matgen/suite.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -84,44 +83,56 @@ void run_host_kernels(const SuiteConfig& cfg, obs::BenchReport& report) {
   std::vector<double> y(static_cast<std::size_t>(a.n_rows));
   const int t = cfg.threads;
 
-  report.entries.push_back(measured_entry(
-      cfg, "host/csr", a.nnz(),
-      product_bytes(footprint(a), a.n_rows, a.n_cols), [&] {
-        spmv(a, std::span<const double>(x), std::span<double>(y), t);
-      }));
+  // Every registered format, by registry enumeration — adding a format
+  // adds a host/<name> row here with no suite change.
+  const auto& reg = formats::registry<double>();
+  for (const formats::FormatInfo& info : reg.list()) {
+    if (std::string_view(info.name) == "auto")
+      continue;  // measured separately (auto_format scenario)
+    const auto plan = reg.build(info.name, a);
+    report.entries.push_back(measured_entry(
+        cfg, std::string("host/") + info.name, a.nnz(),
+        product_bytes(plan->footprint(), a.n_rows, a.n_cols), [&] {
+          plan->spmv(std::span<const double>(x), std::span<double>(y), t);
+        }));
+  }
+}
 
-  const auto ell = Ellpack<double>::from_csr(a, 32);
-  report.entries.push_back(measured_entry(
-      cfg, "host/ellpack", a.nnz(),
-      product_bytes(footprint(ell, false), a.n_rows, a.n_cols), [&] {
-        spmv_ellpack(ell, std::span<const double>(x), std::span<double>(y), t);
-      }));
-  report.entries.push_back(measured_entry(
-      cfg, "host/ellpack_r", a.nnz(),
-      product_bytes(footprint(ell, true), a.n_rows, a.n_cols), [&] {
-        spmv_ellpack_r(ell, std::span<const double>(x), std::span<double>(y),
-                       t);
-      }));
+// ---- auto_format: the `auto` plan's pick per Table I matrix class --------
 
-  const auto jds = Jds<double>::from_csr(a, PermuteColumns::yes);
-  report.entries.push_back(measured_entry(
-      cfg, "host/jds", a.nnz(),
-      product_bytes(footprint(jds), a.n_rows, a.n_cols),
-      [&] { spmv(jds, std::span<const double>(x), std::span<double>(y)); }));
+void run_auto_format(const SuiteConfig& cfg, obs::BenchReport& report) {
+  for (const DevItem& it : kDevItems) {
+    const double scale = cfg.smoke ? it.smoke_scale : it.scale;
+    const auto a = make_named(it.name, scale).matrix;
 
-  const auto sell = SlicedEll<double>::from_csr(a, 32);
-  report.entries.push_back(measured_entry(
-      cfg, "host/sliced_ell", a.nnz(),
-      product_bytes(footprint(sell), a.n_rows, a.n_cols), [&] {
-        spmv(sell, std::span<const double>(x), std::span<double>(y), t);
-      }));
+    formats::PlanOptions opt;
+    opt.probe = true;
+    opt.probe_candidates = 0;  // probe everything: the choice must agree
+                               // with the measured-fastest format
+    opt.probe_min_seconds = cfg.min_seconds;
+    opt.probe_reps = cfg.min_reps;
+    opt.probe_threads = cfg.threads;
+    const auto plan = formats::registry<double>().build("auto", a, opt);
+    const formats::AutoChoice& c = *plan->auto_choice();
 
-  const auto pjds = Pjds<double>::from_csr(a);
-  report.entries.push_back(measured_entry(
-      cfg, "host/pjds", a.nnz(),
-      product_bytes(footprint(pjds), a.n_rows, a.n_cols), [&] {
-        spmv(pjds, std::span<const double>(x), std::span<double>(y), t);
-      }));
+    // Gap between the Eq. 1 model's pick and the measured winner, as a
+    // slowdown percentage (0 when they agree).
+    const double chosen_s = c.candidates[c.chosen_index].probe_seconds;
+    const double model_s = c.candidates[c.model_index].probe_seconds;
+    const double gap_pct =
+        chosen_s > 0.0 ? 100.0 * (model_s / chosen_s - 1.0) : 0.0;
+
+    const double sample[] = {chosen_s};
+    report.entries.push_back(obs::summarize_samples(
+        std::string("auto/") + it.name, sample,
+        {{"alpha_measured", c.alpha_measured},
+         {"chosen_index", static_cast<double>(c.chosen_index)},
+         {"model_index", static_cast<double>(c.model_index)},
+         {"model_agrees", c.chosen_index == c.model_index ? 1.0 : 0.0},
+         {"model_vs_measured_pct", gap_pct}}));
+    report.metadata.emplace_back(std::string("auto.") + it.name + ".format",
+                                 c.chosen);
+  }
 }
 
 // ---- model_deviation: Eq. 1 at measured α vs the simulator ---------------
@@ -268,6 +279,9 @@ void record_deviation_table(obs::BenchReport& report) {
 constexpr Scenario kScenarios[] = {
     {"host_kernels", "measured host spMVM per storage format (sAMG)", false,
      run_host_kernels},
+    {"auto_format",
+     "the auto plan's format pick vs measured-fastest (DLR1/HMEp/sAMG)",
+     false, run_auto_format},
     {"model_deviation",
      "Eq. 1 at measured alpha vs the GPU simulator (DLR1/HMEp/sAMG)", true,
      run_model_deviation},

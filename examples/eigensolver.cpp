@@ -8,7 +8,7 @@
 #include <cstdlib>
 #include <memory>
 
-#include "core/footprint.hpp"
+#include "formats/registry.hpp"
 #include "gpusim/gpu_spmv.hpp"
 #include "matgen/generators.hpp"
 #include "solver/lanczos.hpp"
@@ -40,17 +40,23 @@ int main(int argc, char** argv) {
   const auto a = symmetrized_hmep(scale);
   std::printf("%s\n\n", format_stats("HMEp(sym)", compute_stats(a)).c_str());
 
-  // Convert once to pJDS with symmetric permutation.
-  PjdsOptions opt;
+  // Convert once to pJDS (symmetric permutation) through the registry.
+  formats::PlanOptions opt;
   opt.permute_columns = PermuteColumns::yes;
-  auto pjds = std::make_shared<const Pjds<double>>(
-      Pjds<double>::from_csr(a, opt));
+  const auto& reg = formats::registry<double>();
+  const std::shared_ptr<const formats::FormatPlan<double>> pjds =
+      reg.build("pjds", a, opt);
+  const auto ell = reg.build("ellpack", a, opt);
+  const Footprint fp = pjds->footprint();
   std::printf("pJDS: %.1f%% data reduction vs ELLPACK, %.3f%% fill\n\n",
-              data_reduction_percent(*pjds, Ellpack<double>::from_csr(a, 32)),
-              100.0 * pjds->fill_fraction());
+              100.0 * (1.0 - static_cast<double>(fp.stored_entries) /
+                                 static_cast<double>(
+                                     ell->footprint().stored_entries)),
+              100.0 * (1.0 - static_cast<double>(fp.true_nnz) /
+                                 static_cast<double>(fp.stored_entries)));
 
   // Lanczos in the permuted basis.
-  const auto op = solver::make_permuted_operator<double>(pjds);
+  const auto op = solver::make_operator<double>(pjds);
   Timer timer;
   const auto r = solver::lanczos_max_eigenvalue(op, 300, 1e-10);
   const double elapsed = timer.seconds();

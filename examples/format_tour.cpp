@@ -1,13 +1,17 @@
 // Format tour: walks through the pJDS derivation of Fig. 1 on a small
 // matrix — compress (ELLPACK view), sort, block-pad — and compares the
-// storage of every format in this library (Fig. 2's storage sizes).
+// storage of every format in the registry (Fig. 2's storage sizes).
+//
+//   ./examples/format_tour             the Fig. 1 walkthrough + table
+//   ./examples/format_tour --markdown  README's format table (generated
+//                                      from FormatRegistry::list())
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
 
-#include "core/footprint.hpp"
-#include "sparse/jds.hpp"
-#include "sparse/sliced_ell.hpp"
+#include "formats/plans.hpp"
+#include "formats/registry.hpp"
 #include "util/ascii.hpp"
 #include "util/rng.hpp"
 
@@ -43,10 +47,49 @@ void print_grid(const char* title, index_t rows, index_t width,
   std::printf("\n");
 }
 
+double fill_pct(const Footprint& f) {
+  return f.stored_entries == 0
+             ? 0.0
+             : 100.0 * static_cast<double>(f.stored_entries - f.true_nnz) /
+                   static_cast<double>(f.stored_entries);
+}
+
+/// README's format table, generated from the registry (small blocks so
+/// the 8x8 toy matrix shows distinct padding overheads).
+void print_markdown_table() {
+  const auto a = toy_matrix();
+  formats::PlanOptions opt;
+  opt.chunk = 4;
+  std::printf(
+      "| format | description | sorts rows | native axpby | host kernel "
+      "| sim kernel | fill %% (8x8 toy) |\n");
+  std::printf("|---|---|---|---|---|---|---|\n");
+  for (const formats::FormatInfo& info :
+       formats::registry<double>().list()) {
+    std::string fill = "-";  // `auto` delegates to whichever format wins
+    if (std::strcmp(info.name, "auto") != 0) {
+      const auto plan = formats::registry<double>().build(info.name, a, opt);
+      fill = fmt(fill_pct(plan->footprint()), 1);
+    }
+    std::printf("| `%s` | %s | %s | %s | yes | %s | %s |\n", info.name,
+                info.description, info.sorts_rows ? "yes" : "no",
+                info.native_axpby ? "yes" : "no",
+                info.has_sim_kernel ? "yes" : "no", fill.c_str());
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--markdown") == 0) {
+    print_markdown_table();
+    return 0;
+  }
   const auto a = toy_matrix();
+  const auto& reg = formats::registry<double>();
+  formats::PlanOptions opt;
+  opt.chunk = 4;  // br = C = 4: visible blocks on an 8-row matrix
+
   std::printf("pJDS derivation (Fig. 1 of the paper), br = 4\n");
   std::printf("=============================================\n\n");
 
@@ -58,17 +101,20 @@ int main() {
                           : '.';
              });
 
-  // Step 1: compress left (the ELLPACK rectangle; o = zero fill).
-  const auto ell = Ellpack<double>::from_csr(a, 4);
+  // Step 1: compress left (the ELLPACK rectangle; o = zero fill). The
+  // raw arrays come from the plan's typed accessor.
+  const auto ell_plan = reg.build("ellpack", a, opt);
+  const Ellpack<double>& ell =
+      dynamic_cast<const formats::EllpackPlan<double>&>(*ell_plan).format();
   print_grid("ELLPACK view (compressed left; o = padding):", a.n_rows,
              ell.width, [&](index_t i, index_t j) {
                return j < ell.row_len[static_cast<std::size_t>(i)] ? 'x' : 'o';
              });
 
   // Step 2+3: sort by row length, pad blocks of br = 4.
-  PjdsOptions opt;
-  opt.block_rows = 4;
-  const auto p = Pjds<double>::from_csr(a, opt);
+  const auto pjds_plan = reg.build("pjds", a, opt);
+  const Pjds<double>& p =
+      dynamic_cast<const formats::PjdsPlan<double>&>(*pjds_plan).format();
   print_grid("pJDS (sorted + block-padded; o = block fill):", p.padded_rows,
              p.width, [&](index_t i, index_t j) {
                if (j < p.row_len[static_cast<std::size_t>(i)]) return 'x';
@@ -84,25 +130,15 @@ int main() {
                              p.col_start[static_cast<std::size_t>(j)]));
   std::printf("\n\n");
 
-  // Fig. 2: storage size of each format (entries incl. fill).
-  const auto jds = Jds<double>::from_csr(a);
-  const auto sell = SlicedEll<double>::from_csr(a, 4);
+  // Fig. 2: storage size of each registered format (entries incl. fill).
   AsciiTable t({"format", "stored entries", "fill %", "device bytes (DP)"});
-  const auto row = [&](const char* name, const Footprint& f) {
-    const double fill =
-        f.stored_entries == 0
-            ? 0.0
-            : 100.0 * static_cast<double>(f.stored_entries - f.true_nnz) /
-                  static_cast<double>(f.stored_entries);
-    t.add_row({name, fmt_count(f.stored_entries), fmt(fill, 1),
+  for (const formats::FormatInfo& info : reg.list()) {
+    if (std::string(info.name) == "auto") continue;  // delegates to a winner
+    const Footprint f = reg.build(info.name, a, opt)->footprint();
+    t.add_row({info.name, fmt_count(f.stored_entries),
+               fmt(fill_pct(f), 1),
                fmt_count(static_cast<long long>(f.total_bytes(8)))});
-  };
-  row("CRS", footprint(a));
-  row("ELLPACK", footprint(ell, false));
-  row("ELLPACK-R", footprint(ell, true));
-  row("JDS", footprint(jds));
-  row("sliced-ELL (C=4)", footprint(sell));
-  row("pJDS (br=4)", footprint(p));
+  }
   std::printf("%s\n", t.render().c_str());
   std::printf("nnz = %lld; ELLPACK pads every row to the global maximum,\n"
               "pJDS only to the block-local maximum after sorting.\n",

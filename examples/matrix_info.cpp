@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "core/footprint.hpp"
+#include "sparse/footprint.hpp"
 #include "gpusim/cpu_node.hpp"
 #include "gpusim/gpu_spmv.hpp"
 #include "matgen/suite.hpp"

@@ -1,5 +1,6 @@
-// Quickstart: build a sparse matrix, convert it to pJDS, run spMVM on the
-// host, and ask the GPU simulator what a Fermi-class card would do.
+// Quickstart: build a sparse matrix, resolve a storage format through
+// the format registry, run spMVM on the host, and ask the GPU simulator
+// what a Fermi-class card would do with every registered format.
 //
 //   ./examples/quickstart [matrix.mtx]
 //
@@ -9,9 +10,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/footprint.hpp"
-#include "core/pjds_spmv.hpp"
-#include "gpusim/gpu_spmv.hpp"
+#include "formats/registry.hpp"
 #include "matgen/generators.hpp"
 #include "sparse/matrix_market.hpp"
 #include "sparse/matrix_stats.hpp"
@@ -32,39 +31,53 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n\n", format_stats("matrix", compute_stats(a)).c_str());
 
-  // 2. Convert to pJDS (block size 32 = warp size; symmetric permutation
-  //    so solvers can stay in the permuted basis).
-  PjdsOptions opt;
-  opt.permute_columns =
-      a.n_rows == a.n_cols ? PermuteColumns::yes : PermuteColumns::no;
-  const auto pjds = Pjds<double>::from_csr(a, opt);
-  const auto ell = Ellpack<double>::from_csr(a, 32);
+  // 2. Resolve formats by name through the registry (block size 32 =
+  //    warp size; symmetric permutation — demoted automatically for
+  //    rectangular matrices — so solvers can stay in the permuted basis).
+  const auto& reg = formats::registry<double>();
+  const auto pjds = reg.build("pjds", a);
+  const auto ell = reg.build("ellpack", a);
+  const Footprint fp = pjds->footprint();
+  const Footprint fe = ell->footprint();
   std::printf("ELLPACK stores  %s entries\n",
-              fmt_count(ell.stored_entries()).c_str());
+              fmt_count(fe.stored_entries).c_str());
   std::printf("pJDS stores     %s entries  (data reduction %.1f%%, fill %.2f%%)\n\n",
-              fmt_count(pjds.stored_entries()).c_str(),
-              data_reduction_percent(pjds, ell),
-              100.0 * pjds.fill_fraction());
+              fmt_count(fp.stored_entries).c_str(),
+              100.0 * (1.0 - static_cast<double>(fp.stored_entries) /
+                                 static_cast<double>(fe.stored_entries)),
+              100.0 * static_cast<double>(fp.stored_entries - fp.true_nnz) /
+                  static_cast<double>(fp.stored_entries));
 
-  // 3. Multiply on the host: y = A x through the permutation-hiding
-  //    operator (input/output in the original basis).
-  const PjdsOperator<double> op(pjds);
+  // 3. Multiply on the host: y = A x with input/output in the original
+  //    basis — the permutation handle carries the vectors across.
   std::vector<double> x(static_cast<std::size_t>(a.n_cols), 1.0);
   std::vector<double> y(static_cast<std::size_t>(a.n_rows));
-  op.apply(x, y);
+  {
+    const Permutation* perm = pjds->permutation();
+    std::vector<double> xb = x;
+    std::vector<double> yb(y.size());
+    if (perm != nullptr && pjds->columns_permuted())
+      perm->to_permuted(std::span<const double>(x), std::span<double>(xb));
+    pjds->spmv(std::span<const double>(xb), std::span<double>(yb));
+    if (perm != nullptr)
+      perm->from_permuted(std::span<const double>(yb), std::span<double>(y));
+    else
+      y = yb;
+  }
   double checksum = 0.0;
   for (const double v : y) checksum += v;
   std::printf("host spMVM checksum: %.6f\n\n", checksum);
 
-  // 4. What would a Tesla C2070 do? (simulated; DP, ECC on)
+  // 4. What would a Tesla C2070 do? (simulated; DP, ECC on) — every
+  //    registered format with a simulated kernel.
   const auto dev = gpusim::DeviceSpec::tesla_c2070();
   AsciiTable table({"format", "GF/s (sim)", "alpha", "bytes/flop"});
-  for (const auto kind :
-       {gpusim::FormatKind::ellpack_r, gpusim::FormatKind::pjds}) {
-    const auto r = gpusim::simulate_format(dev, a, kind);
-    table.add_row({gpusim::to_string(kind), fmt(r.gflops, 1),
-                   fmt(r.stats.measured_alpha(sizeof(double)), 2),
-                   fmt(r.code_balance, 2)});
+  for (const formats::FormatInfo& info : reg.list()) {
+    if (!info.has_sim_kernel) continue;
+    const auto r = reg.build(info.name, a)->simulate(dev);
+    table.add_row({info.name, fmt(r->gflops, 1),
+                   fmt(r->stats.measured_alpha(sizeof(double)), 2),
+                   fmt(r->code_balance, 2)});
   }
   std::printf("%s\n", table.render().c_str());
   return 0;

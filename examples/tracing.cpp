@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "core/pjds.hpp"
+#include "sparse/pjds.hpp"
 #include "dist/spmv_modes.hpp"
 #include "dist/timeline.hpp"
 #include "gpusim/kernel_sim.hpp"

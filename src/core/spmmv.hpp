@@ -9,7 +9,7 @@
 
 #include <span>
 
-#include "core/pjds.hpp"
+#include "sparse/pjds.hpp"
 #include "sparse/csr.hpp"
 
 namespace spmvm {

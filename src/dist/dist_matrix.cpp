@@ -27,6 +27,25 @@ int DistMatrix<T>::n_peers() const {
 }
 
 template <class T>
+void DistMatrix<T>::build_plans(const formats::FormatRegistry<T>& registry,
+                                std::string_view format,
+                                const formats::PlanOptions& options) {
+  formats::PlanOptions opts = options;
+  // Column relabeling never applies: the column spaces (owned block,
+  // halo slots) are fixed by the exchange layout.
+  opts.permute_columns = PermuteColumns::no;
+  auto lp = registry.build(format, local, opts);
+  SPMVM_REQUIRE(lp->permutation() == nullptr,
+                std::string("format '") + std::string(format) +
+                    "' permutes rows; the halo exchange needs the "
+                    "original row order");
+  local_plan = std::move(lp);
+  nonlocal_plan = n_halo > 0 ? registry.build(format, nonlocal, opts)
+                             : nullptr;
+  format_name = std::string(format);
+}
+
+template <class T>
 void DistMatrix<T>::validate() const {
   local.validate();
   nonlocal.validate();
@@ -133,6 +152,7 @@ DistMatrix<T> distribute(const Csr<T>& a, const RowPartition& part,
     wanted.erase(std::unique(wanted.begin(), wanted.end()), wanted.end());
     d.send_idx[static_cast<std::size_t>(p)] = std::move(wanted);
   }
+  d.build_plans(formats::registry<T>(), "csr");
   return d;
 }
 

@@ -10,7 +10,12 @@
 // be gathered and sent, and how many halo entries arrive.
 #pragma once
 
+#include <memory>
+#include <string>
+#include <string_view>
+
 #include "dist/partition.hpp"
+#include "formats/registry.hpp"
 #include "sparse/csr.hpp"
 
 namespace spmvm::dist {
@@ -37,6 +42,20 @@ struct DistMatrix {
   /// send_idx[p]: local (0-based) indices of owned entries to gather and
   /// send to rank p, in the order p expects them.
   std::vector<std::vector<index_t>> send_idx;
+
+  /// Kernel plans for the two parts, resolved through the format
+  /// registry (distribute() defaults them to "csr"). The halo layout
+  /// fixes the row order, so only non-row-sorting formats qualify.
+  std::string format_name = "csr";
+  std::shared_ptr<const formats::FormatPlan<T>> local_plan;
+  std::shared_ptr<const formats::FormatPlan<T>> nonlocal_plan;
+
+  /// (Re)build both kernel plans as `format`. Throws for formats that
+  /// permute rows (jds, sell_c_sigma, pjds, auto): the halo exchange
+  /// addresses vector blocks by original row order.
+  void build_plans(const formats::FormatRegistry<T>& registry,
+                   std::string_view format,
+                   const formats::PlanOptions& options = {});
 
   index_t send_total() const;
   /// Ranks this rank exchanges data with (send or receive).

@@ -97,12 +97,31 @@ std::vector<msg::Request> post_exchange(msg::Comm& comm,
   return reqs;
 }
 
-/// y += nonlocal · halo (the non-local contribution).
+/// y = local · x, dispatched through the rank's format plan (falls back
+/// to the raw CSR kernel for hand-assembled DistMatrix instances).
+template <class T>
+void apply_local(const DistMatrix<T>& d, std::span<const T> x,
+                 std::span<T> y) {
+  if (d.local_plan != nullptr)
+    d.local_plan->spmv(x, y);
+  else
+    spmv(d.local, x, y);
+}
+
+/// y += nonlocal · halo (the non-local contribution). Plans without a
+/// native fused kernel apply and accumulate via a scratch vector.
 template <class T>
 void apply_nonlocal(const DistMatrix<T>& d, std::span<const T> halo,
                     std::span<T> y) {
   if (d.n_halo == 0) return;
-  spmv_axpby(d.nonlocal, halo, y, T{1}, T{1});
+  if (d.nonlocal_plan == nullptr) {
+    spmv_axpby(d.nonlocal, halo, y, T{1}, T{1});
+    return;
+  }
+  if (d.nonlocal_plan->spmv_axpby(halo, y, T{1}, T{1})) return;
+  std::vector<T> tmp(static_cast<std::size_t>(d.n_local));
+  d.nonlocal_plan->spmv(halo, std::span<T>(tmp));
+  for (std::size_t i = 0; i < tmp.size(); ++i) y[i] += tmp[i];
 }
 }  // namespace
 
@@ -167,7 +186,7 @@ void dist_spmv(msg::Comm& comm, const DistMatrix<T>& d,
       }
       {
         SPMVM_TRACE_SPAN("kernel/local");
-        spmv(d.local, x_local, y_local);
+        apply_local<T>(d, x_local, y_local);
       }
       {
         SPMVM_TRACE_SPAN("kernel/nonlocal");
@@ -191,7 +210,7 @@ void dist_spmv(msg::Comm& comm, const DistMatrix<T>& d,
       }
       {
         SPMVM_TRACE_SPAN("kernel/local");
-        spmv(d.local, x_local, y_local);  // overlaps (maybe) with transfer
+        apply_local<T>(d, x_local, y_local);  // overlaps (maybe) with transfer
       }
       {
         SPMVM_TRACE_SPAN("comm/waitall",
@@ -231,7 +250,7 @@ void dist_spmv(msg::Comm& comm, const DistMatrix<T>& d,
       });
       {
         SPMVM_TRACE_SPAN("kernel/local");
-        spmv(d.local, x_local, y_local);
+        apply_local<T>(d, x_local, y_local);
       }
       comm_thread.join();
       if (comm_error) std::rethrow_exception(comm_error);

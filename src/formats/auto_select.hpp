@@ -1,0 +1,56 @@
+// Model-guided format selection — the paper's implicit workflow made a
+// first-class plan.
+//
+// Policy (see DESIGN.md "Format engine"):
+//   1. Measure α (the Eq. 1 RHS re-load factor) once per matrix with the
+//      kernel simulator's L2 model — α is a property of the matrix'
+//      column structure, not of the storage format.
+//   2. Rank every registered concrete format by the generalized Eq. 1
+//      code balance at that α (perfmodel::code_balance_stored over the
+//      format's real footprint, so zero fill and metadata count).
+//   3. Optionally confirm with a short measured host probe of the top
+//      candidates (measure_seconds_stats); the probed minimum wins.
+// With probing disabled the selection is bit-deterministic: the
+// simulator is exact and ties break by registry order.
+#pragma once
+
+#include <memory>
+
+#include "formats/format_plan.hpp"
+
+namespace spmvm::formats {
+
+template <class T>
+class FormatRegistry;
+
+/// Run the selection policy over every concrete (non-auto) registry
+/// entry. When `built` is non-null the constructed candidate plans are
+/// returned through it (index-aligned with AutoChoice::candidates) so
+/// the caller can reuse the winner without rebuilding.
+template <class T>
+AutoChoice choose_format(
+    const FormatRegistry<T>& reg, const Csr<T>& a, const PlanOptions& opts,
+    std::vector<std::shared_ptr<const FormatPlan<T>>>* built = nullptr);
+
+/// The registry builder behind the "auto" entry: runs choose_format and
+/// wraps the winning plan, recording the choice in obs gauges
+/// (formats.auto.*) and exposing it via FormatPlan::auto_choice().
+template <class T>
+std::unique_ptr<FormatPlan<T>> make_auto_plan(const FormatRegistry<T>& reg,
+                                              const Csr<T>& a,
+                                              const PlanOptions& opts,
+                                              const FormatInfo& info);
+
+#define SPMVM_EXTERN_AUTO_SELECT(T)                                       \
+  extern template AutoChoice choose_format(                               \
+      const FormatRegistry<T>&, const Csr<T>&, const PlanOptions&,        \
+      std::vector<std::shared_ptr<const FormatPlan<T>>>*);                \
+  extern template std::unique_ptr<FormatPlan<T>> make_auto_plan(          \
+      const FormatRegistry<T>&, const Csr<T>&, const PlanOptions&,        \
+      const FormatInfo&)
+
+SPMVM_EXTERN_AUTO_SELECT(float);
+SPMVM_EXTERN_AUTO_SELECT(double);
+#undef SPMVM_EXTERN_AUTO_SELECT
+
+}  // namespace spmvm::formats

@@ -1,0 +1,175 @@
+#include "formats/plans.hpp"
+
+#include "sparse/pjds_spmv.hpp"
+#include "sparse/spmv_host.hpp"
+#include "sparse/to_csr.hpp"
+
+namespace spmvm::formats {
+
+// ---- CSR ----
+
+template <class T>
+Footprint CsrPlan<T>::footprint() const {
+  return spmvm::footprint(a_);
+}
+
+template <class T>
+void CsrPlan<T>::spmv(std::span<const T> x, std::span<T> y,
+                      int n_threads) const {
+  spmvm::spmv(a_, x, y, n_threads);
+}
+
+template <class T>
+bool CsrPlan<T>::spmv_axpby(std::span<const T> x, std::span<T> y, T alpha,
+                            T beta, int n_threads) const {
+  spmvm::spmv_axpby(a_, x, y, alpha, beta, n_threads);
+  return true;
+}
+
+template <class T>
+std::optional<gpusim::KernelResult> CsrPlan<T>::simulate(
+    const gpusim::DeviceSpec& dev, const gpusim::SimOptions& opt) const {
+  return gpusim::simulate_csr_vector(dev, a_, opt);
+}
+
+// ---- ELLPACK / ELLPACK-R ----
+
+template <class T>
+Footprint EllpackPlan<T>::footprint() const {
+  return spmvm::footprint(a_, /*with_row_len=*/r_kernel_);
+}
+
+template <class T>
+Csr<T> EllpackPlan<T>::to_csr() const {
+  return spmvm::to_csr(a_);
+}
+
+template <class T>
+void EllpackPlan<T>::spmv(std::span<const T> x, std::span<T> y,
+                          int n_threads) const {
+  if (r_kernel_)
+    spmv_ellpack_r(a_, x, y, n_threads);
+  else
+    spmv_ellpack(a_, x, y, n_threads);
+}
+
+template <class T>
+std::optional<gpusim::KernelResult> EllpackPlan<T>::simulate(
+    const gpusim::DeviceSpec& dev, const gpusim::SimOptions& opt) const {
+  return gpusim::simulate(
+      dev, a_, r_kernel_ ? gpusim::EllpackKernel::r : gpusim::EllpackKernel::plain,
+      opt);
+}
+
+// ---- JDS ----
+
+template <class T>
+Footprint JdsPlan<T>::footprint() const {
+  return spmvm::footprint(a_);
+}
+
+template <class T>
+Csr<T> JdsPlan<T>::to_csr() const {
+  return spmvm::to_csr(
+      a_, columns_permuted_ ? PermuteColumns::yes : PermuteColumns::no);
+}
+
+template <class T>
+void JdsPlan<T>::spmv(std::span<const T> x, std::span<T> y,
+                      int /*n_threads*/) const {
+  spmvm::spmv(a_, x, y);
+}
+
+// ---- sliced ELLPACK / SELL-C-σ ----
+
+template <class T>
+Footprint SlicedEllPlan<T>::footprint() const {
+  return spmvm::footprint(a_);
+}
+
+template <class T>
+Csr<T> SlicedEllPlan<T>::to_csr() const {
+  return spmvm::to_csr(
+      a_, a_.columns_permuted ? PermuteColumns::yes : PermuteColumns::no);
+}
+
+template <class T>
+void SlicedEllPlan<T>::spmv(std::span<const T> x, std::span<T> y,
+                            int n_threads) const {
+  spmvm::spmv(a_, x, y, n_threads);
+}
+
+template <class T>
+bool SlicedEllPlan<T>::spmv_axpby(std::span<const T> x, std::span<T> y,
+                                  T alpha, T beta, int n_threads) const {
+  spmvm::spmv_axpby(a_, x, y, alpha, beta, n_threads);
+  return true;
+}
+
+template <class T>
+std::optional<gpusim::KernelResult> SlicedEllPlan<T>::simulate(
+    const gpusim::DeviceSpec& dev, const gpusim::SimOptions& opt) const {
+  return gpusim::simulate(dev, a_, opt);
+}
+
+// ---- BELLPACK ----
+
+template <class T>
+Footprint BellpackPlan<T>::footprint() const {
+  return spmvm::footprint(a_);
+}
+
+template <class T>
+Csr<T> BellpackPlan<T>::to_csr() const {
+  return spmvm::to_csr(a_);
+}
+
+template <class T>
+void BellpackPlan<T>::spmv(std::span<const T> x, std::span<T> y,
+                           int n_threads) const {
+  spmvm::spmv(a_, x, y, n_threads);
+}
+
+// ---- pJDS ----
+
+template <class T>
+Footprint PjdsPlan<T>::footprint() const {
+  return spmvm::footprint(a_);
+}
+
+template <class T>
+Csr<T> PjdsPlan<T>::to_csr() const {
+  return spmvm::to_csr(a_);
+}
+
+template <class T>
+void PjdsPlan<T>::spmv(std::span<const T> x, std::span<T> y,
+                       int n_threads) const {
+  spmvm::spmv(a_, x, y, n_threads);
+}
+
+template <class T>
+bool PjdsPlan<T>::spmv_axpby(std::span<const T> x, std::span<T> y, T alpha,
+                             T beta, int n_threads) const {
+  spmvm::spmv_axpby(a_, x, y, alpha, beta, n_threads);
+  return true;
+}
+
+template <class T>
+std::optional<gpusim::KernelResult> PjdsPlan<T>::simulate(
+    const gpusim::DeviceSpec& dev, const gpusim::SimOptions& opt) const {
+  return gpusim::simulate(dev, a_, opt);
+}
+
+#define SPMVM_INSTANTIATE_PLANS(T)   \
+  template class CsrPlan<T>;         \
+  template class EllpackPlan<T>;     \
+  template class JdsPlan<T>;         \
+  template class SlicedEllPlan<T>;   \
+  template class BellpackPlan<T>;    \
+  template class PjdsPlan<T>
+
+SPMVM_INSTANTIATE_PLANS(float);
+SPMVM_INSTANTIATE_PLANS(double);
+
+}  // namespace spmvm::formats

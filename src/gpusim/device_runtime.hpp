@@ -12,7 +12,7 @@
 #include <span>
 #include <vector>
 
-#include "core/pjds_spmv.hpp"
+#include "sparse/pjds_spmv.hpp"
 #include "gpusim/gpu_spmv.hpp"
 #include "sparse/spmv_host.hpp"
 

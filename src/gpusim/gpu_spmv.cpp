@@ -1,6 +1,6 @@
 #include "gpusim/gpu_spmv.hpp"
 
-#include "core/footprint.hpp"
+#include "sparse/footprint.hpp"
 #include "util/error.hpp"
 
 namespace spmvm::gpusim {

@@ -16,7 +16,7 @@
 // which is what separates the SP and DP columns of Table I.
 #pragma once
 
-#include "core/pjds.hpp"
+#include "sparse/pjds.hpp"
 #include "gpusim/device_spec.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/ellpack.hpp"

@@ -299,24 +299,26 @@ BenchReport load_bench_report(const std::string& path) {
   return parse_bench_report(os.str());
 }
 
-bool consume_json_flag(int* argc, char** argv, std::string* path,
-                       std::string* err) {
-  path->clear();
+bool consume_value_flag(int* argc, char** argv, const char* flag,
+                        std::string* value, std::string* err) {
+  value->clear();
   err->clear();
+  const std::size_t flag_len = std::strlen(flag);
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      // Only consume a following non-flag token as the path, so a bare
-      // --json can't swallow the next option.
+    if (std::strcmp(argv[i], flag) == 0) {
+      // Only consume a following non-flag token as the value, so a bare
+      // flag can't swallow the next option.
       if (i + 1 >= *argc || argv[i + 1][0] == '-') {
-        *err = "--json requires a file path";
+        *err = std::string(flag) + " requires a value";
         return false;
       }
-      *path = argv[++i];
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      *path = argv[i] + 7;
-      if (path->empty()) {
-        *err = "--json requires a file path";
+      *value = argv[++i];
+    } else if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+               argv[i][flag_len] == '=') {
+      *value = argv[i] + flag_len + 1;
+      if (value->empty()) {
+        *err = std::string(flag) + " requires a value";
         return false;
       }
     } else {
@@ -325,6 +327,24 @@ bool consume_json_flag(int* argc, char** argv, std::string* path,
   }
   *argc = out;
   return true;
+}
+
+bool consume_switch(int* argc, char** argv, const char* flag) {
+  bool seen = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0)
+      seen = true;
+    else
+      argv[out++] = argv[i];
+  }
+  *argc = out;
+  return seen;
+}
+
+bool consume_json_flag(int* argc, char** argv, std::string* path,
+                       std::string* err) {
+  return consume_value_flag(argc, argv, "--json", path, err);
 }
 
 }  // namespace spmvm::obs

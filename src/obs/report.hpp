@@ -8,8 +8,11 @@
 //   exactly the subset of JSON that BenchReport::to_json() emits — so
 //   obs/regress can diff two trajectory points without external
 //   dependencies.
-// - consume_json_flag() implements the benches' common `--json <path>`
-//   flag (bare or empty value rejected) in one place.
+// - consume_value_flag()/consume_switch() strip one `--flag <value>` /
+//   `--flag=<value>` pair or a bare boolean `--flag` from argv before
+//   the rest is handed to another parser (e.g. google-benchmark);
+//   consume_json_flag() is the benches' common `--json <path>` built on
+//   top of them.
 #pragma once
 
 #include <string>
@@ -33,11 +36,22 @@ BenchReport parse_bench_report(const std::string& json);
 /// Read and parse `path`; throws spmvm::Error on I/O or parse failure.
 BenchReport load_bench_report(const std::string& path);
 
-/// Strip a `--json <path>` / `--json=<path>` flag from argv in place
-/// (argc is updated; remaining arguments keep their order, so the
+/// Strip a `--<flag> <value>` / `--<flag>=<value>` pair from argv in
+/// place (argc is updated; remaining arguments keep their order, so the
 /// caller can hand them to its own parser, e.g. google-benchmark).
-/// Returns false with *err set when the flag is present but has no
-/// value (a bare `--json` never swallows a following `--flag`).
+/// `flag` includes the leading dashes ("--format"). Returns false with
+/// *err set when the flag is present but has no value (a bare flag
+/// never swallows a following `--option`); *value is left empty when
+/// the flag does not occur.
+bool consume_value_flag(int* argc, char** argv, const char* flag,
+                        std::string* value, std::string* err);
+
+/// Strip a boolean `--<flag>` from argv in place; returns true when it
+/// occurred (any number of times).
+bool consume_switch(int* argc, char** argv, const char* flag);
+
+/// The benches' common `--json <path>` flag: consume_value_flag for
+/// "--json".
 bool consume_json_flag(int* argc, char** argv, std::string* path,
                        std::string* err);
 

@@ -13,6 +13,18 @@ double code_balance(std::size_t scalar_size, double alpha, double nnzr) {
   return ((s + 4.0) + s * alpha + 2.0 * s / nnzr) / 2.0;
 }
 
+double code_balance_stored(std::size_t stored_bytes, std::size_t nnz,
+                           std::size_t n_rows, std::size_t scalar_size,
+                           double alpha) {
+  SPMVM_REQUIRE(nnz > 0, "nnz must be positive");
+  SPMVM_REQUIRE(alpha >= 0.0, "alpha must be non-negative");
+  const auto s = static_cast<double>(scalar_size);
+  const double bytes = static_cast<double>(stored_bytes) +
+                       s * alpha * static_cast<double>(nnz) +
+                       2.0 * s * static_cast<double>(n_rows);
+  return bytes / (2.0 * static_cast<double>(nnz));
+}
+
 double alpha_ideal(double nnzr) {
   SPMVM_REQUIRE(nnzr > 0.0, "N_nzr must be positive");
   return 1.0 / nnzr;

@@ -14,6 +14,17 @@ namespace spmvm::perfmodel {
 /// Bytes per flop of the spMVM kernel (Eq. 1, generalized to SP/DP).
 double code_balance(std::size_t scalar_size, double alpha, double nnzr);
 
+/// Eq. 1 generalized to an arbitrary storage layout: `stored_bytes` is the
+/// format's full device footprint (values + indices + aux arrays, i.e.
+/// Footprint::total_bytes), so zero fill and per-format metadata enter the
+/// balance instead of the idealized (s+4) bytes per non-zero. RHS gather
+/// traffic (s·α per non-zero) and the result update (2·s per row) are
+/// unchanged from Eq. 1. Used by the `auto` format plan to rank formats at
+/// measured α.
+double code_balance_stored(std::size_t stored_bytes, std::size_t nnz,
+                           std::size_t n_rows, std::size_t scalar_size,
+                           double alpha);
+
 /// Lower bound of α: every RHS element loaded exactly once (κ = 0 in [4]).
 double alpha_ideal(double nnzr);
 

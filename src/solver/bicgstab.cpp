@@ -1,5 +1,6 @@
 #include "solver/bicgstab.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -99,24 +100,34 @@ BicgstabResult bicgstab(const Operator<T>& a, std::span<const T> b,
 }
 
 template <class T>
-BicgstabResult bicgstab_pjds(const Csr<T>& a, std::span<const T> b,
-                             std::span<T> x, double tol, int max_iterations,
-                             const PjdsOptions& options) {
-  PjdsOptions opt = options;
+BicgstabResult bicgstab_with_format(const Csr<T>& a, std::span<const T> b,
+                                    std::span<T> x, std::string_view format,
+                                    double tol, int max_iterations,
+                                    const formats::PlanOptions& options) {
+  formats::PlanOptions opt = options;
   opt.permute_columns = PermuteColumns::yes;
-  auto pjds = std::make_shared<const Pjds<T>>(Pjds<T>::from_csr(a, opt));
+  const auto plan = formats::registry<T>().build(format, a, opt);
   const auto n = static_cast<std::size_t>(a.n_rows);
+  const Permutation* perm = plan->permutation();
 
   std::vector<T> b_perm(n), x_perm(n);
-  pjds->perm.to_permuted(b, std::span<T>(b_perm));
-  pjds->perm.to_permuted(std::span<const T>(x), std::span<T>(x_perm));
+  if (perm != nullptr) {
+    perm->to_permuted(b, std::span<T>(b_perm));
+    perm->to_permuted(std::span<const T>(x), std::span<T>(x_perm));
+  } else {
+    std::copy(b.begin(), b.end(), b_perm.begin());
+    std::copy(x.begin(), x.end(), x_perm.begin());
+  }
 
-  const auto op = make_permuted_operator<T>(pjds);
+  const auto op = make_operator<T>(plan);
   const BicgstabResult result =
       bicgstab(op, std::span<const T>(b_perm), std::span<T>(x_perm), tol,
                max_iterations);
 
-  pjds->perm.from_permuted(std::span<const T>(x_perm), x);
+  if (perm != nullptr)
+    perm->from_permuted(std::span<const T>(x_perm), x);
+  else
+    std::copy(x_perm.begin(), x_perm.end(), x.begin());
   return result;
 }
 
@@ -124,10 +135,9 @@ BicgstabResult bicgstab_pjds(const Csr<T>& a, std::span<const T> b,
   template BicgstabResult bicgstab(const Operator<T>&,                 \
                                    std::span<const T>, std::span<T>,   \
                                    double, int);                       \
-  template BicgstabResult bicgstab_pjds(const Csr<T>&,                 \
-                                        std::span<const T>,            \
-                                        std::span<T>, double, int,     \
-                                        const PjdsOptions&)
+  template BicgstabResult bicgstab_with_format(                        \
+      const Csr<T>&, std::span<const T>, std::span<T>,                 \
+      std::string_view, double, int, const formats::PlanOptions&)
 
 SPMVM_INSTANTIATE_BICGSTAB(float);
 SPMVM_INSTANTIATE_BICGSTAB(double);

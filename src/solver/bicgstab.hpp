@@ -2,7 +2,6 @@
 // DLR1/DLR2/UHBR matrices come from (CG requires SPD).
 #pragma once
 
-#include "core/pjds.hpp"
 #include "solver/operator.hpp"
 
 namespace spmvm::solver {
@@ -21,21 +20,30 @@ BicgstabResult bicgstab(const Operator<T>& a, std::span<const T> b,
                         std::span<T> x, double tol = 1e-10,
                         int max_iterations = 1000);
 
-/// BiCGSTAB through pJDS, iterating in the permuted basis (permutations
-/// only at entry and exit, as in Sec. II-A).
+/// BiCGSTAB through any registered storage format, iterating in the
+/// plan's basis (permutations only at entry and exit, as in Sec. II-A).
+template <class T>
+BicgstabResult bicgstab_with_format(const Csr<T>& a, std::span<const T> b,
+                                    std::span<T> x, std::string_view format,
+                                    double tol = 1e-10,
+                                    int max_iterations = 1000,
+                                    const formats::PlanOptions& options = {});
+
+/// BiCGSTAB through pJDS, the paper's pairing.
 template <class T>
 BicgstabResult bicgstab_pjds(const Csr<T>& a, std::span<const T> b,
                              std::span<T> x, double tol = 1e-10,
-                             int max_iterations = 1000,
-                             const PjdsOptions& options = {});
+                             int max_iterations = 1000) {
+  return bicgstab_with_format(a, b, x, "pjds", tol, max_iterations);
+}
 
 #define SPMVM_EXTERN_BICGSTAB(T)                                          \
   extern template BicgstabResult bicgstab(const Operator<T>&,             \
                                           std::span<const T>,             \
                                           std::span<T>, double, int);     \
-  extern template BicgstabResult bicgstab_pjds(                           \
-      const Csr<T>&, std::span<const T>, std::span<T>, double, int,       \
-      const PjdsOptions&)
+  extern template BicgstabResult bicgstab_with_format(                    \
+      const Csr<T>&, std::span<const T>, std::span<T>, std::string_view,  \
+      double, int, const formats::PlanOptions&)
 
 SPMVM_EXTERN_BICGSTAB(float);
 SPMVM_EXTERN_BICGSTAB(double);

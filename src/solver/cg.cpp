@@ -1,5 +1,6 @@
 #include "solver/cg.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -60,34 +61,46 @@ CgResult cg(const Operator<T>& a, std::span<const T> b, std::span<T> x,
 }
 
 template <class T>
-CgResult cg_pjds(const Csr<T>& a, std::span<const T> b, std::span<T> x,
-                 double tol, int max_iterations, const PjdsOptions& options) {
-  PjdsOptions opt = options;
+CgResult cg_with_format(const Csr<T>& a, std::span<const T> b, std::span<T> x,
+                        std::string_view format, double tol,
+                        int max_iterations,
+                        const formats::PlanOptions& options) {
+  formats::PlanOptions opt = options;
   opt.permute_columns = PermuteColumns::yes;
-  auto pjds = std::make_shared<const Pjds<T>>(Pjds<T>::from_csr(a, opt));
+  const auto plan = formats::registry<T>().build(format, a, opt);
   const auto n = static_cast<std::size_t>(a.n_rows);
+  const Permutation* perm = plan->permutation();
 
-  // Permute once on entry...
+  // Permute once on entry (identity for non-sorting formats)...
   std::vector<T> b_perm(n), x_perm(n);
-  pjds->perm.to_permuted(b, std::span<T>(b_perm));
-  pjds->perm.to_permuted(std::span<const T>(x), std::span<T>(x_perm));
+  if (perm != nullptr) {
+    perm->to_permuted(b, std::span<T>(b_perm));
+    perm->to_permuted(std::span<const T>(x), std::span<T>(x_perm));
+  } else {
+    std::copy(b.begin(), b.end(), b_perm.begin());
+    std::copy(x.begin(), x.end(), x_perm.begin());
+  }
 
-  // ... iterate entirely in the permuted basis ...
-  const auto op = make_permuted_operator<T>(pjds);
+  // ... iterate entirely in the plan's basis ...
+  const auto op = make_operator<T>(plan);
   const CgResult result =
       cg(op, std::span<const T>(b_perm), std::span<T>(x_perm), tol,
          max_iterations);
 
   // ... and permute once on exit.
-  pjds->perm.from_permuted(std::span<const T>(x_perm), x);
+  if (perm != nullptr)
+    perm->from_permuted(std::span<const T>(x_perm), x);
+  else
+    std::copy(x_perm.begin(), x_perm.end(), x.begin());
   return result;
 }
 
 #define SPMVM_INSTANTIATE_CG(T)                                        \
   template CgResult cg(const Operator<T>&, std::span<const T>,         \
                        std::span<T>, double, int);                     \
-  template CgResult cg_pjds(const Csr<T>&, std::span<const T>,         \
-                            std::span<T>, double, int, const PjdsOptions&)
+  template CgResult cg_with_format(                                    \
+      const Csr<T>&, std::span<const T>, std::span<T>,                 \
+      std::string_view, double, int, const formats::PlanOptions&)
 
 SPMVM_INSTANTIATE_CG(float);
 SPMVM_INSTANTIATE_CG(double);

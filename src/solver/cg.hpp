@@ -3,7 +3,6 @@
 // iterates entirely in the permuted basis.
 #pragma once
 
-#include "core/pjds.hpp"
 #include "solver/operator.hpp"
 
 namespace spmvm::solver {
@@ -21,20 +20,29 @@ template <class T>
 CgResult cg(const Operator<T>& a, std::span<const T> b, std::span<T> x,
             double tol = 1e-10, int max_iterations = 1000);
 
-/// CG through the pJDS format: builds pJDS (symmetric permutation),
-/// permutes b and the initial guess once, iterates in the permuted basis,
-/// and permutes the solution back — the workflow of Sec. II-A.
+/// CG through any registered storage format: builds the plan (symmetric
+/// permutation for row-sorting formats), permutes b and the initial guess
+/// once, iterates in the plan's basis, and permutes the solution back —
+/// the workflow of Sec. II-A generalized over the format registry.
+template <class T>
+CgResult cg_with_format(const Csr<T>& a, std::span<const T> b, std::span<T> x,
+                        std::string_view format, double tol = 1e-10,
+                        int max_iterations = 1000,
+                        const formats::PlanOptions& options = {});
+
+/// The paper's recommended pairing: CG in the pJDS permuted basis.
 template <class T>
 CgResult cg_pjds(const Csr<T>& a, std::span<const T> b, std::span<T> x,
-                 double tol = 1e-10, int max_iterations = 1000,
-                 const PjdsOptions& options = {});
+                 double tol = 1e-10, int max_iterations = 1000) {
+  return cg_with_format(a, b, x, "pjds", tol, max_iterations);
+}
 
 #define SPMVM_EXTERN_CG(T)                                             \
   extern template CgResult cg(const Operator<T>&, std::span<const T>,  \
                               std::span<T>, double, int);              \
-  extern template CgResult cg_pjds(const Csr<T>&, std::span<const T>,  \
-                                   std::span<T>, double, int,          \
-                                   const PjdsOptions&)
+  extern template CgResult cg_with_format(                             \
+      const Csr<T>&, std::span<const T>, std::span<T>,                 \
+      std::string_view, double, int, const formats::PlanOptions&)
 
 SPMVM_EXTERN_CG(float);
 SPMVM_EXTERN_CG(double);

@@ -1,7 +1,9 @@
-// Type-erased linear operator y = A·x for the Krylov solvers, with
-// factories for every storage format. The pJDS factory keeps the solver
-// entirely in the permuted basis — the paper's recommended usage, where
-// permutation happens only before and after the iteration (Sec. II-A).
+// Type-erased linear operator y = A·x for the Krylov solvers. Storage
+// formats enter through the format registry: make_operator(registry,
+// name, csr) resolves any registered format — including row-sorting ones,
+// which keep the solver entirely in the permuted basis, the paper's
+// recommended usage where permutation happens only before and after the
+// iteration (Sec. II-A).
 //
 // Operators also expose the fused update y = β·y + α·A·x; formats with a
 // native spmv_axpby kernel do it in one matrix pass, everything else
@@ -11,12 +13,11 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
 
-#include "core/pjds.hpp"
-#include "core/pjds_spmv.hpp"
+#include "formats/registry.hpp"
 #include "sparse/csr.hpp"
-#include "sparse/sliced_ell.hpp"
 #include "sparse/spmv_host.hpp"
 #include "util/error.hpp"
 
@@ -70,7 +71,8 @@ class Operator {
   mutable std::vector<T> scratch_;
 };
 
-/// Operator over a CSR matrix (kept alive by shared ownership).
+/// Operator over a CSR matrix (kept alive by shared ownership) — the
+/// interchange-format shortcut that needs no registry lookup.
 template <class T>
 Operator<T> make_operator(std::shared_ptr<const Csr<T>> a, int n_threads = 1) {
   SPMVM_REQUIRE(a->n_rows == a->n_cols, "solvers need a square operator");
@@ -85,43 +87,44 @@ Operator<T> make_operator(std::shared_ptr<const Csr<T>> a, int n_threads = 1) {
       });
 }
 
-/// Operator over a pJDS matrix, applied in the *permuted* basis: x and y
-/// are permuted vectors. Requires a format built with symmetric
-/// permutation so the basis is self-consistent.
+/// Operator over a format plan, applied in the plan's own basis: for
+/// row-sorting formats x and y are *permuted* vectors (carry them across
+/// with plan->permutation()). Requires a self-consistent basis — either
+/// no row permutation or symmetric column relabeling — so that repeated
+/// applications compose (what Krylov iterations do).
 template <class T>
-Operator<T> make_permuted_operator(std::shared_ptr<const Pjds<T>> a,
-                                   int n_threads = 1) {
-  SPMVM_REQUIRE(a->columns_permuted,
+Operator<T> make_operator(std::shared_ptr<const formats::FormatPlan<T>> plan,
+                          int n_threads = 1) {
+  SPMVM_REQUIRE(plan->n_rows() == plan->n_cols(),
+                "solvers need a square operator");
+  SPMVM_REQUIRE(plan->permutation() == nullptr || plan->columns_permuted(),
                 "permuted-basis solver needs PermuteColumns::yes");
-  const index_t n = a->n_rows;
+  const index_t n = plan->n_rows();
+  typename Operator<T>::ApplyAxpbyFn axpby = nullptr;
+  if (plan->info().native_axpby)
+    axpby = [plan, n_threads](std::span<const T> x, std::span<T> y, T alpha,
+                              T beta) {
+      plan->spmv_axpby(x, y, alpha, beta, n_threads);
+    };
   return Operator<T>(
       n,
-      [a, n_threads](std::span<const T> x, std::span<T> y) {
-        spmv(*a, x, y, n_threads);
+      [plan, n_threads](std::span<const T> x, std::span<T> y) {
+        plan->spmv(x, y, n_threads);
       },
-      [a, n_threads](std::span<const T> x, std::span<T> y, T alpha, T beta) {
-        spmv_axpby(*a, x, y, alpha, beta, n_threads);
-      });
+      std::move(axpby));
 }
 
-/// Operator over a sliced-ELLPACK matrix in its row-sorted basis. With
-/// σ == 1 the permutation is the identity and this is the plain basis;
-/// σ > 1 requires symmetric column relabeling (PermuteColumns::yes).
+/// Build `format` from `a` through the registry and wrap it as an
+/// operator — the one-line factory every former per-format overload
+/// collapsed into. The plan is owned by the returned Operator; use the
+/// two-step form (registry.build + make_operator) when the caller needs
+/// the permutation handle.
 template <class T>
-Operator<T> make_permuted_operator(std::shared_ptr<const SlicedEll<T>> a,
-                                   int n_threads = 1) {
-  SPMVM_REQUIRE(a->n_rows == a->n_cols, "solvers need a square operator");
-  SPMVM_REQUIRE(a->sort_window == 1 || a->columns_permuted,
-                "permuted-basis solver needs PermuteColumns::yes");
-  const index_t n = a->n_rows;
-  return Operator<T>(
-      n,
-      [a, n_threads](std::span<const T> x, std::span<T> y) {
-        spmv(*a, x, y, n_threads);
-      },
-      [a, n_threads](std::span<const T> x, std::span<T> y, T alpha, T beta) {
-        spmv_axpby(*a, x, y, alpha, beta, n_threads);
-      });
+Operator<T> make_operator(const formats::FormatRegistry<T>& registry,
+                          std::string_view format, const Csr<T>& a,
+                          const formats::PlanOptions& options = {},
+                          int n_threads = 1) {
+  return make_operator<T>(registry.build(format, a, options), n_threads);
 }
 
 }  // namespace spmvm::solver

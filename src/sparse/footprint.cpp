@@ -1,4 +1,4 @@
-#include "core/footprint.hpp"
+#include "sparse/footprint.hpp"
 
 #include "util/error.hpp"
 
@@ -8,6 +8,7 @@ template <class T>
 Footprint footprint(const Csr<T>& a) {
   Footprint f;
   f.stored_entries = a.nnz();
+  f.index_entries = a.nnz();
   f.true_nnz = a.nnz();
   f.aux_bytes = a.row_ptr.size() * sizeof(offset_t);
   return f;
@@ -17,6 +18,7 @@ template <class T>
 Footprint footprint(const Ellpack<T>& a, bool with_row_len) {
   Footprint f;
   f.stored_entries = a.stored_entries();
+  f.index_entries = a.stored_entries();
   f.true_nnz = a.nnz;
   f.aux_bytes = with_row_len ? a.row_len.size() * sizeof(index_t) : 0;
   return f;
@@ -26,6 +28,7 @@ template <class T>
 Footprint footprint(const Jds<T>& a) {
   Footprint f;
   f.stored_entries = a.nnz;
+  f.index_entries = a.nnz;
   f.true_nnz = a.nnz;
   f.aux_bytes = a.jd_ptr.size() * sizeof(offset_t) +
                 a.row_len.size() * sizeof(index_t);
@@ -36,6 +39,7 @@ template <class T>
 Footprint footprint(const SlicedEll<T>& a) {
   Footprint f;
   f.stored_entries = a.stored_entries();
+  f.index_entries = a.stored_entries();
   f.true_nnz = a.nnz;
   f.aux_bytes = a.slice_ptr.size() * sizeof(offset_t) +
                 a.row_len.size() * sizeof(index_t);
@@ -46,9 +50,20 @@ template <class T>
 Footprint footprint(const Pjds<T>& a) {
   Footprint f;
   f.stored_entries = a.stored_entries();
+  f.index_entries = a.stored_entries();
   f.true_nnz = a.nnz;
   f.aux_bytes = a.col_start.size() * sizeof(offset_t) +
                 a.row_len.size() * sizeof(index_t);
+  return f;
+}
+
+template <class T>
+Footprint footprint(const Bellpack<T>& a) {
+  Footprint f;
+  f.stored_entries = a.stored_entries();
+  f.index_entries = a.stored_blocks;  // one column index per tile
+  f.true_nnz = a.nnz;
+  f.aux_bytes = a.block_row_len.size() * sizeof(index_t);
   return f;
 }
 
@@ -67,6 +82,7 @@ double data_reduction_percent(const Pjds<T>& pjds, const Ellpack<T>& ell) {
   template Footprint footprint(const Jds<T>&);                 \
   template Footprint footprint(const SlicedEll<T>&);           \
   template Footprint footprint(const Pjds<T>&);                \
+  template Footprint footprint(const Bellpack<T>&);            \
   template double data_reduction_percent(const Pjds<T>&,       \
                                          const Ellpack<T>&)
 

@@ -2,7 +2,8 @@
 // "data reduction" row and the storage sizes of Fig. 2).
 #pragma once
 
-#include "core/pjds.hpp"
+#include "sparse/pjds.hpp"
+#include "sparse/bellpack.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/ellpack.hpp"
 #include "sparse/jds.hpp"
@@ -14,6 +15,8 @@ namespace spmvm {
 /// the scalar size so SP/DP footprints can both be reported.
 struct Footprint {
   offset_t stored_entries = 0;  // matrix entries incl. zero fill
+  offset_t index_entries = 0;   // column indices stored (== stored_entries
+                                // except blocked formats: one per tile)
   offset_t true_nnz = 0;
   std::size_t aux_bytes = 0;  // row_len / col_start / slice_ptr / row_ptr
 
@@ -21,7 +24,7 @@ struct Footprint {
     return static_cast<std::size_t>(stored_entries) * scalar_size;
   }
   std::size_t index_bytes() const {
-    return static_cast<std::size_t>(stored_entries) * sizeof(index_t);
+    return static_cast<std::size_t>(index_entries) * sizeof(index_t);
   }
   std::size_t total_bytes(std::size_t scalar_size) const {
     return value_bytes(scalar_size) + index_bytes() + aux_bytes;
@@ -44,6 +47,8 @@ template <class T>
 Footprint footprint(const SlicedEll<T>& a);
 template <class T>
 Footprint footprint(const Pjds<T>& a);
+template <class T>
+Footprint footprint(const Bellpack<T>& a);
 
 /// Table I, first row: percentage of ELLPACK storage saved by pJDS,
 /// 100 * (1 - stored_pJDS / stored_ELLPACK), counted in matrix entries
@@ -57,6 +62,7 @@ double data_reduction_percent(const Pjds<T>& pjds, const Ellpack<T>& ell);
   extern template Footprint footprint(const Jds<T>&);                 \
   extern template Footprint footprint(const SlicedEll<T>&);           \
   extern template Footprint footprint(const Pjds<T>&);                \
+  extern template Footprint footprint(const Bellpack<T>&);            \
   extern template double data_reduction_percent(const Pjds<T>&,       \
                                                 const Ellpack<T>&)
 

@@ -1,4 +1,4 @@
-#include "core/pjds.hpp"
+#include "sparse/pjds.hpp"
 
 #include <algorithm>
 

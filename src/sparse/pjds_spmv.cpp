@@ -1,11 +1,11 @@
-#include "core/pjds_spmv.hpp"
+#include "sparse/pjds_spmv.hpp"
 
 #include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
-#include "core/footprint.hpp"
+#include "sparse/footprint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"

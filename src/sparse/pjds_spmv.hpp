@@ -4,7 +4,7 @@
 
 #include <span>
 
-#include "core/pjds.hpp"
+#include "sparse/pjds.hpp"
 
 namespace spmvm {
 

@@ -13,7 +13,7 @@ namespace spmvm {
 
 namespace {
 /// Effective bytes one kernel call streams — the stored matrix (values +
-/// indices + aux arrays, matching core/footprint's accounting) plus one
+/// indices + aux arrays, matching sparse/footprint's accounting) plus one
 /// RHS read and one LHS write — so a span's bytes / duration is directly
 /// the GB/s to compare against the STREAM limit (Eq. 1).
 template <class T>

@@ -1,4 +1,4 @@
-#include "core/to_csr.hpp"
+#include "sparse/to_csr.hpp"
 
 #include "sparse/convert.hpp"
 #include "util/error.hpp"

@@ -6,7 +6,7 @@
 // repartitioning, direct solvers).
 #pragma once
 
-#include "core/pjds.hpp"
+#include "sparse/pjds.hpp"
 #include "sparse/bellpack.hpp"  // comparator formats
 #include "sparse/csr.hpp"
 #include "sparse/ellpack.hpp"

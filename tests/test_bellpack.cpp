@@ -4,7 +4,7 @@
 
 #include <tuple>
 
-#include "core/footprint.hpp"
+#include "sparse/footprint.hpp"
 #include "matgen/generators.hpp"
 #include "test_helpers.hpp"
 #include "util/error.hpp"

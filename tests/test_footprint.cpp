@@ -1,4 +1,4 @@
-#include "core/footprint.hpp"
+#include "sparse/footprint.hpp"
 
 #include <gtest/gtest.h>
 

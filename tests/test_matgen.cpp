@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/footprint.hpp"
+#include "sparse/footprint.hpp"
 #include "matgen/suite.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/matrix_stats.hpp"

@@ -4,7 +4,7 @@
 // by CI.
 #include <gtest/gtest.h>
 
-#include "core/footprint.hpp"
+#include "sparse/footprint.hpp"
 #include "gpusim/cpu_node.hpp"
 #include "gpusim/gpu_spmv.hpp"
 #include "gpusim/pcie.hpp"

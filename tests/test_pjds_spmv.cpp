@@ -1,4 +1,4 @@
-#include "core/pjds_spmv.hpp"
+#include "sparse/pjds_spmv.hpp"
 
 #include <gtest/gtest.h>
 

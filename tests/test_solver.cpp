@@ -180,15 +180,13 @@ TEST(Lanczos, PermutedPjdsBasisGivesSameEigenvalue) {
   const auto sym = std::make_shared<const Csr<double>>(
       Csr<double>::from_coo(std::move(coo)));
 
-  PjdsOptions opt;
+  formats::PlanOptions opt;
   opt.permute_columns = PermuteColumns::yes;
-  const auto pjds = std::make_shared<const Pjds<double>>(
-      Pjds<double>::from_csr(*sym, opt));
-
   const auto r_csr =
       lanczos_max_eigenvalue(make_operator<double>(sym), 300, 1e-10);
   const auto r_pjds = lanczos_max_eigenvalue(
-      make_permuted_operator<double>(pjds), 300, 1e-10);
+      make_operator<double>(formats::registry<double>(), "pjds", *sym, opt),
+      300, 1e-10);
   EXPECT_TRUE(r_csr.converged);
   EXPECT_TRUE(r_pjds.converged);
   EXPECT_NEAR(r_csr.eigenvalue, r_pjds.eigenvalue,
@@ -204,13 +202,15 @@ TEST(Operator, RejectsShortVectors) {
                Error);
 }
 
-TEST(Operator, PermutedOperatorRequiresSymmetricBuild) {
+TEST(Operator, RowSortedPlanRequiresPermutedColumns) {
+  // A plan that sorts rows without relabeling the columns iterates in a
+  // mixed basis; the operator factory must reject it.
   const auto a = make_poisson2d<double>(4, 4);
-  PjdsOptions opt;
+  formats::PlanOptions opt;
   opt.permute_columns = PermuteColumns::no;
-  const auto pjds = std::make_shared<const Pjds<double>>(
-      Pjds<double>::from_csr(a, opt));
-  EXPECT_THROW(make_permuted_operator<double>(pjds), Error);
+  const std::shared_ptr<const formats::FormatPlan<double>> plan =
+      formats::registry<double>().build("pjds", a, opt);
+  EXPECT_THROW(make_operator<double>(plan), Error);
 }
 
 }  // namespace

@@ -10,8 +10,8 @@
 #include <thread>
 #include <vector>
 
-#include "core/pjds.hpp"
-#include "core/pjds_spmv.hpp"
+#include "sparse/pjds.hpp"
+#include "sparse/pjds_spmv.hpp"
 #include "matgen/generators.hpp"
 #include "sparse/sliced_ell.hpp"
 #include "sparse/spmv_host.hpp"

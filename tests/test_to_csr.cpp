@@ -1,6 +1,6 @@
 // Round-trip property suite: from_csr ∘ to_csr must be the identity for
 // every storage format, across matrix shapes and build parameters.
-#include "core/to_csr.hpp"
+#include "sparse/to_csr.hpp"
 
 #include <gtest/gtest.h>
 
