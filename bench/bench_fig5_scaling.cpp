@@ -5,12 +5,14 @@
 // The stand-in matrices are scaled down by S; to preserve the capacity
 // effect ("UHBR does not fit on fewer than five nodes") the device memory
 // is scaled by the same factor.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "dist/cluster_model.hpp"
+#include "dist/comm_plan.hpp"
 #include "obs/report.hpp"
 #include "gpusim/gpu_spmv.hpp"
 #include "matgen/suite.hpp"
@@ -111,6 +113,78 @@ void run_case(const char* name, double scale, double paper_single_gfs,
   std::printf("\n");
 }
 
+/// Measured (wall-clock, functional runtime): per-iteration cost of the
+/// legacy per-call dist_spmv vs the persistent CommPlan, per scheme.
+/// Emitted into --json as measured/<scheme>/{legacy,plan} (not gated).
+void run_measured_plan_comparison(obs::BenchReport* report) {
+  const auto m = make_named("DLR1", 16);
+  const int n_ranks = 4;
+  const int iters = 40;
+  const auto part = partition_balanced_nnz(m.matrix, n_ranks);
+  AsciiTable t({"scheme", "legacy [us/iter]", "plan [us/iter]", "speedup"});
+  for (const auto scheme :
+       {CommScheme::vector_mode, CommScheme::naive_overlap,
+        CommScheme::task_mode}) {
+    double legacy_s = 0.0, plan_s = 0.0;
+    msg::Runtime::run(n_ranks, [&](msg::Comm& comm) {
+      const auto d = distribute(m.matrix, part, comm.rank());
+      std::vector<double> x(static_cast<std::size_t>(d.n_local), 1.0);
+      std::vector<double> y(static_cast<std::size_t>(d.n_local));
+      std::vector<double> halo, sendbuf;
+      dist_spmv(comm, d, std::span<const double>(x), std::span<double>(y),
+                scheme, halo, sendbuf);  // warm up both paths
+      // Best of three repetitions per path: the in-process runtime runs
+      // on a shared machine, so single samples are noisy.
+      double best_legacy = 0.0, best_plan = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        comm.barrier();
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int it = 0; it < iters; ++it)
+          dist_spmv(comm, d, std::span<const double>(x),
+                    std::span<double>(y), scheme, halo, sendbuf);
+        const double s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        if (rep == 0 || s < best_legacy) best_legacy = s;
+      }
+      CommPlan<double> plan(comm, d, scheme, /*gather_threads=*/2);
+      plan.spmv(std::span<const double>(x), std::span<double>(y));
+      for (int rep = 0; rep < 3; ++rep) {
+        comm.barrier();
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int it = 0; it < iters; ++it)
+          plan.spmv(std::span<const double>(x), std::span<double>(y));
+        const double s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        if (rep == 0 || s < best_plan) best_plan = s;
+      }
+      if (comm.rank() == 0) {
+        legacy_s = best_legacy / iters;
+        plan_s = best_plan / iters;
+      }
+    });
+    t.add_row({to_string(scheme), fmt(legacy_s * 1e6, 1),
+               fmt(plan_s * 1e6, 1),
+               fmt(plan_s > 0.0 ? legacy_s / plan_s : 0.0, 2)});
+    if (report != nullptr) {
+      const double ls[] = {legacy_s};
+      const double ps[] = {plan_s};
+      report->entries.push_back(obs::summarize_samples(
+          std::string("measured/") + scheme_slug(scheme) + "/legacy", ls,
+          {}));
+      report->entries.push_back(obs::summarize_samples(
+          std::string("measured/") + scheme_slug(scheme) + "/plan", ps,
+          {{"speedup", plan_s > 0.0 ? legacy_s / plan_s : 0.0}}));
+    }
+  }
+  std::printf("measured on the in-process runtime (DLR1/16, 4 ranks, "
+              "%d iterations):\n%s\n",
+              iters, t.render().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,6 +253,10 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", t.render().c_str());
   }
+
+  std::printf("persistent halo-exchange plans vs per-call exchange:\n");
+  run_measured_plan_comparison(rep);
+
   if (rep != nullptr && !rep->write(json_path)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;

@@ -1,11 +1,13 @@
 #include "suite_scenarios.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "dist/cluster_model.hpp"
+#include "dist/comm_plan.hpp"
 #include "formats/registry.hpp"
 #include "matgen/suite.hpp"
 #include "obs/metrics.hpp"
@@ -237,6 +239,97 @@ void run_dist_comm_modes(const SuiteConfig& cfg, obs::BenchReport& report) {
   }
 }
 
+// ---- dist_comm: functional halo exchange through the persistent plan -----
+
+/// Deterministic per-scheme traffic accounting (bytes and messages per
+/// iteration, gated in CI) plus an informational legacy-vs-plan timing
+/// comparison under dist_comm_time/ (not gated: wall-clock).
+void run_dist_comm(const SuiteConfig& cfg, obs::BenchReport& report) {
+  const double scale = cfg.smoke ? 64 : 16;
+  const auto m = make_named("DLR1", scale);
+  const int n_ranks = 4;
+  const int iters = cfg.smoke ? 5 : 20;
+  const auto part = dist::partition_balanced_nnz(m.matrix, n_ranks);
+
+  const std::vector<dist::CommScheme> schemes = {
+      dist::CommScheme::vector_mode, dist::CommScheme::naive_overlap,
+      dist::CommScheme::task_mode};
+  for (const auto scheme : schemes) {
+    // Traffic counters around a barrier-synchronized plan run: every
+    // steady-state send must rendezvous, so the deltas are exact.
+    const std::uint64_t halo0 = obs::counter("comm.halo_bytes").value();
+    const std::uint64_t send0 = obs::counter("comm.send_bytes").value();
+    const std::uint64_t hits0 = obs::counter("comm.rendezvous_hits").value();
+    const std::uint64_t eager0 = obs::counter("comm.eager_fallbacks").value();
+    msg::Runtime::run(n_ranks, [&](msg::Comm& comm) {
+      const auto d = dist::distribute(m.matrix, part, comm.rank());
+      std::vector<double> x(static_cast<std::size_t>(d.n_local), 1.0);
+      std::vector<double> y(static_cast<std::size_t>(d.n_local));
+      dist::CommPlan<double> plan(comm, d, scheme, /*gather_threads=*/2);
+      for (int it = 0; it < iters; ++it) {
+        plan.spmv(std::span<const double>(x), std::span<double>(y));
+        comm.barrier();
+      }
+    });
+    const double per_iter =
+        1.0 / static_cast<double>(iters) / n_ranks;  // per rank-iteration
+    report.entries.push_back(obs::summarize_samples(
+        std::string("dist_comm/") + scheme_slug(scheme), {},
+        {{"halo_bytes_per_rank_iter",
+          static_cast<double>(obs::counter("comm.halo_bytes").value() -
+                              halo0) *
+              per_iter},
+         {"send_bytes_per_rank_iter",
+          static_cast<double>(obs::counter("comm.send_bytes").value() -
+                              send0) *
+              per_iter},
+         {"rendezvous_per_iter",
+          static_cast<double>(obs::counter("comm.rendezvous_hits").value() -
+                              hits0) /
+              iters},
+         {"eager_per_iter",
+          static_cast<double>(obs::counter("comm.eager_fallbacks").value() -
+                              eager0) /
+              iters}}));
+
+    // Separate run for wall-clock: the same product count through the
+    // legacy per-call path and the plan, free-running.
+    double legacy_s = 0.0, plan_s = 0.0;
+    msg::Runtime::run(n_ranks, [&](msg::Comm& comm) {
+      const auto d = dist::distribute(m.matrix, part, comm.rank());
+      std::vector<double> x(static_cast<std::size_t>(d.n_local), 1.0);
+      std::vector<double> y(static_cast<std::size_t>(d.n_local));
+      std::vector<double> halo, sendbuf;
+      // Warm both paths (pool workers, kernel plans) before timing.
+      dist::dist_spmv(comm, d, std::span<const double>(x),
+                      std::span<double>(y), scheme, halo, sendbuf);
+      comm.barrier();
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int it = 0; it < iters; ++it)
+        dist::dist_spmv(comm, d, std::span<const double>(x),
+                        std::span<double>(y), scheme, halo, sendbuf);
+      const auto t1 = std::chrono::steady_clock::now();
+      dist::CommPlan<double> plan(comm, d, scheme, /*gather_threads=*/2);
+      plan.spmv(std::span<const double>(x), std::span<double>(y));
+      comm.barrier();
+      const auto t2 = std::chrono::steady_clock::now();
+      for (int it = 0; it < iters; ++it)
+        plan.spmv(std::span<const double>(x), std::span<double>(y));
+      const auto t3 = std::chrono::steady_clock::now();
+      if (comm.rank() == 0) {
+        legacy_s = std::chrono::duration<double>(t1 - t0).count() / iters;
+        plan_s = std::chrono::duration<double>(t3 - t2).count() / iters;
+      }
+    });
+    const double sample[] = {plan_s};
+    report.entries.push_back(obs::summarize_samples(
+        std::string("dist_comm_time/") + scheme_slug(scheme), sample,
+        {{"legacy_s", legacy_s},
+         {"plan_s", plan_s},
+         {"speedup", plan_s > 0.0 ? legacy_s / plan_s : 0.0}}));
+  }
+}
+
 /// The suite's validation summary: for every matrix with both a model
 /// row and a host row, one "deviation/<name>" entry (the three-way
 /// model-vs-simulated-vs-host table) mirrored into obs gauges.
@@ -293,6 +386,10 @@ constexpr Scenario kScenarios[] = {
     {"dist_comm_modes",
      "cluster-model strong scaling, three communication schemes", true,
      run_dist_comm_modes},
+    {"dist_comm",
+     "functional halo exchange: per-scheme traffic (deterministic) and "
+     "legacy-vs-plan timing",
+     false, run_dist_comm},
 };
 
 }  // namespace

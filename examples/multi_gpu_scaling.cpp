@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dist/cluster_model.hpp"
+#include "dist/comm_plan.hpp"
 #include "matgen/generators.hpp"
 #include "sparse/matrix_stats.hpp"
 #include "util/ascii.hpp"
@@ -53,9 +54,10 @@ int main(int argc, char** argv) {
       std::vector<double> x_local(x.begin() + row0,
                                   x.begin() + part.end(comm.rank()));
       std::vector<double> y_local(static_cast<std::size_t>(d.n_local));
-      std::vector<double> halo, sendbuf;
-      dist_spmv(comm, d, std::span<const double>(x_local),
-                std::span<double>(y_local), scheme, halo, sendbuf);
+      // Persistent halo-exchange plan (built once, reused per product).
+      CommPlan<double> plan(comm, d, scheme);
+      plan.spmv(std::span<const double>(x_local),
+                std::span<double>(y_local));
       std::lock_guard<std::mutex> lock(y_mutex);
       std::copy(y_local.begin(), y_local.end(), y.begin() + row0);
     });

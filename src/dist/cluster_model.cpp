@@ -20,7 +20,7 @@ double NodeTiming::iteration_seconds(const ClusterSpec& c,
     }
     case CommScheme::task_mode:
       return std::max(t_local, t_down + t_comm + t_up) + t_nonlocal +
-             c.thread_sync_s;
+             (c.persistent_comm ? c.thread_wake_s : c.thread_sync_s);
   }
   return 0.0;
 }

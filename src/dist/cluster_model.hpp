@@ -38,6 +38,12 @@ struct ClusterSpec {
   double net_latency_s = 4e-6;          // per message incl. software stack
   double naive_overlap_fraction = 0.4;  // f above
   double thread_sync_s = 3e-6;          // task-mode fork/join overhead
+  /// Task mode with a persistent communication plan (dist/comm_plan)
+  /// wakes a parked comm thread through a condition variable instead of
+  /// spawning and joining one per iteration; the per-iteration thread
+  /// cost drops from thread_sync_s to thread_wake_s.
+  bool persistent_comm = true;
+  double thread_wake_s = 5e-7;  // cv wake + handshake of the parked thread
   /// Device format of the local/non-local kernels. The paper used
   /// ELLPACK-R throughout Sec. III; "an implementation of the multi-GPGPU
   /// code with the pJDS format ... is ongoing work" — that extension is

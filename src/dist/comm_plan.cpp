@@ -1,0 +1,281 @@
+#include "dist/comm_plan.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+
+#include "dist/spmv_apply.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spmvm::dist {
+
+namespace {
+
+/// Plan traffic uses its own tag so a plan and the legacy dist_spmv can
+/// coexist on one Comm (the bit-identity tests interleave both) without
+/// their messages cross-matching.
+constexpr int kTagPlanHalo = 102;
+
+const char* plan_span_name(CommScheme scheme) {
+  switch (scheme) {
+    case CommScheme::vector_mode:
+      return "dist/plan_vector";
+    case CommScheme::naive_overlap:
+      return "dist/plan_naive_overlap";
+    case CommScheme::task_mode:
+      return "dist/plan_task";
+  }
+  return "dist/plan";
+}
+
+}  // namespace
+
+template <class T>
+CommPlan<T>::CommPlan(msg::Comm& comm, const DistMatrix<T>& d,
+                      CommScheme scheme, int gather_threads)
+    : comm_(comm),
+      d_(d),
+      scheme_(scheme),
+      gather_threads_(gather_threads) {
+  SPMVM_REQUIRE(comm.size() == d.n_parts,
+                "communicator size must match the partition");
+  SPMVM_REQUIRE(comm.rank() == d.rank, "rank mismatch");
+  SPMVM_REQUIRE(gather_threads >= 1, "need at least one gather thread");
+
+  // Flatten the per-peer send lists into one contiguous array; the
+  // legacy path recomputes these offsets on every call.
+  send_offset_.assign(static_cast<std::size_t>(d.n_parts) + 1, 0);
+  for (int p = 0; p < d.n_parts; ++p)
+    send_offset_[static_cast<std::size_t>(p) + 1] =
+        send_offset_[static_cast<std::size_t>(p)] +
+        d.send_idx[static_cast<std::size_t>(p)].size();
+  send_flat_.reserve(send_offset_.back());
+  for (int p = 0; p < d.n_parts; ++p)
+    send_flat_.insert(send_flat_.end(),
+                      d.send_idx[static_cast<std::size_t>(p)].begin(),
+                      d.send_idx[static_cast<std::size_t>(p)].end());
+
+  // Every gathered entry costs the same (one load + one store), so the
+  // entry-balanced partition is the even split.
+  const std::size_t n_entries = send_flat_.size();
+  const std::size_t parts = static_cast<std::size_t>(gather_threads_);
+  gather_bounds_.resize(parts + 1);
+  for (std::size_t t = 0; t <= parts; ++t)
+    gather_bounds_[t] = n_entries * t / parts;
+
+  sendbuf_.resize(n_entries);
+  halo_.resize(static_cast<std::size_t>(d.n_halo));
+
+  // Persistent requests, bound once to the plan-owned buffers.
+  for (int p = 0; p < d.n_parts; ++p) {
+    const auto count = d.recv_count[static_cast<std::size_t>(p)];
+    if (count > 0)
+      recv_reqs_.push_back(comm_.recv_init_t<T>(
+          p, kTagPlanHalo,
+          std::span<T>(halo_.data() +
+                           d.recv_offset[static_cast<std::size_t>(p)],
+                       static_cast<std::size_t>(count))));
+  }
+  for (int p = 0; p < d.n_parts; ++p) {
+    const auto n = send_offset_[static_cast<std::size_t>(p) + 1] -
+                   send_offset_[static_cast<std::size_t>(p)];
+    if (n > 0)
+      send_reqs_.push_back(comm_.send_init_t<T>(
+          p, kTagPlanHalo,
+          std::span<const T>(
+              sendbuf_.data() + send_offset_[static_cast<std::size_t>(p)],
+              n)));
+  }
+
+  // Post this rank's receives, then barrier: once construction returns
+  // anywhere, every rank's receives are posted, so every steady-state
+  // send lands in its posted buffer (rendezvous, single copy).
+  start_receives();
+  try {
+    comm_.barrier();
+  } catch (...) {
+    for (auto& r : recv_reqs_) comm_.cancel(r);
+    throw;
+  }
+
+  if (scheme_ == CommScheme::task_mode) {
+    static obs::Counter& c_threads = obs::counter("comm.task_threads");
+    c_threads.add();
+    comm_thread_ = std::thread([this] { comm_thread_loop(); });
+  }
+}
+
+template <class T>
+CommPlan<T>::~CommPlan() {
+  if (comm_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    comm_thread_.join();
+  }
+  for (auto& r : recv_reqs_) comm_.cancel(r);
+}
+
+template <class T>
+void CommPlan<T>::local_gather(std::span<const T> x) {
+  SPMVM_TRACE_SPAN("comm/plan_gather",
+                   static_cast<std::uint64_t>(send_flat_.size()) * sizeof(T));
+  static obs::Counter& c_ns = obs::counter("comm.gather_ns");
+  static obs::Gauge& g_s = obs::gauge("comm.gather_seconds");
+  const auto t0 = std::chrono::steady_clock::now();
+  const index_t* idx = send_flat_.data();
+  T* out = sendbuf_.data();
+  const int parts = static_cast<int>(gather_bounds_.size()) - 1;
+  ThreadPool::instance().run(parts, [&](int part) {
+    const std::size_t lo = gather_bounds_[static_cast<std::size_t>(part)];
+    const std::size_t hi = gather_bounds_[static_cast<std::size_t>(part) + 1];
+    for (std::size_t i = lo; i < hi; ++i)
+      out[i] = x[static_cast<std::size_t>(idx[i])];
+  });
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  c_ns.add(ns);
+  g_s.set(static_cast<double>(c_ns.value()) * 1e-9);
+}
+
+template <class T>
+void CommPlan<T>::start_receives() {
+  comm_.startall(recv_reqs_);
+}
+
+template <class T>
+void CommPlan<T>::start_sends() {
+  SPMVM_TRACE_SPAN("comm/plan_sends",
+                   static_cast<std::uint64_t>(sendbuf_.size()) * sizeof(T));
+  comm_.startall(send_reqs_);
+  comm_.waitall(send_reqs_);  // buffered sends complete at start; re-arm
+}
+
+template <class T>
+void CommPlan<T>::wait_receives() {
+  SPMVM_TRACE_SPAN("comm/plan_waitall",
+                   static_cast<std::uint64_t>(d_.n_halo) * sizeof(T));
+  comm_.waitall(recv_reqs_);
+}
+
+template <class T>
+void CommPlan<T>::comm_thread_loop() {
+  obs::set_thread_name("comm thread");
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    cv_.wait(lk, [&] { return work_ || stop_; });
+    if (stop_) return;
+    work_ = false;
+    lk.unlock();
+    try {
+      start_sends();
+      wait_receives();
+    } catch (...) {
+      comm_error_ = std::current_exception();
+    }
+    lk.lock();
+    done_ = true;
+    cv_.notify_all();
+  }
+}
+
+template <class T>
+void CommPlan<T>::signal_comm_thread() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    work_ = true;
+    done_ = false;
+  }
+  cv_.notify_all();
+}
+
+template <class T>
+void CommPlan<T>::join_iteration() {
+  std::unique_lock<std::mutex> lk(m_);
+  cv_.wait(lk, [&] { return done_; });
+  if (comm_error_) {
+    std::exception_ptr e = std::exchange(comm_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+template <class T>
+void CommPlan<T>::spmv(std::span<const T> x_local, std::span<T> y_local) {
+  SPMVM_REQUIRE(x_local.size() >= static_cast<std::size_t>(d_.n_local),
+                "x block too small");
+  SPMVM_REQUIRE(y_local.size() >= static_cast<std::size_t>(d_.n_local),
+                "y block too small");
+  SPMVM_TRACE_SPAN(plan_span_name(scheme_));
+
+  local_gather(x_local);
+  static obs::Counter& c_halo = obs::counter("comm.halo_bytes");
+  static obs::Counter& c_send = obs::counter("comm.send_bytes");
+  c_halo.add(static_cast<std::uint64_t>(d_.n_halo) * sizeof(T));
+  c_send.add(static_cast<std::uint64_t>(sendbuf_.size()) * sizeof(T));
+
+  switch (scheme_) {
+    case CommScheme::vector_mode: {
+      // Exchange completes before any compute (no overlap).
+      start_sends();
+      wait_receives();
+      {
+        SPMVM_TRACE_SPAN("kernel/local");
+        detail::apply_local<T>(d_, x_local, y_local);
+      }
+      {
+        SPMVM_TRACE_SPAN("kernel/nonlocal");
+        detail::apply_nonlocal<T>(d_, std::span<const T>(halo_), y_local);
+      }
+      break;
+    }
+    case CommScheme::naive_overlap: {
+      // Sends in flight while the local part computes.
+      start_sends();
+      {
+        SPMVM_TRACE_SPAN("kernel/local");
+        detail::apply_local<T>(d_, x_local, y_local);
+      }
+      wait_receives();
+      {
+        SPMVM_TRACE_SPAN("kernel/nonlocal");
+        detail::apply_nonlocal<T>(d_, std::span<const T>(halo_), y_local);
+      }
+      break;
+    }
+    case CommScheme::task_mode: {
+      // Wake the persistent comm thread (Fig. 4: thread 0 exchanges
+      // while the compute threads run the local part).
+      signal_comm_thread();
+      {
+        SPMVM_TRACE_SPAN("kernel/local");
+        detail::apply_local<T>(d_, x_local, y_local);
+      }
+      join_iteration();
+      {
+        SPMVM_TRACE_SPAN("kernel/nonlocal");
+        detail::apply_nonlocal<T>(d_, std::span<const T>(halo_), y_local);
+      }
+      break;
+    }
+  }
+
+  // The halo is consumed; re-post the receives now so the peers' next
+  // sends rendezvous straight into halo_. A send that arrives before its
+  // receive is re-posted (a rank racing a full iteration ahead) falls
+  // back to the eager queue — slower, never wrong.
+  start_receives();
+  ++iterations_;
+}
+
+template class CommPlan<float>;
+template class CommPlan<double>;
+
+}  // namespace spmvm::dist

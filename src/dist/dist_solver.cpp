@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "dist/comm_plan.hpp"
 #include "util/error.hpp"
 
 namespace spmvm::dist {
@@ -25,11 +26,13 @@ DistCgResult dist_cg(msg::Comm& comm, const DistMatrix<T>& a,
   SPMVM_REQUIRE(b_local.size() >= n && x_local.size() >= n,
                 "local blocks too small");
   std::vector<T> r(n), p(n), ap(n);
-  std::vector<T> halo, sendbuf;
+  // One persistent halo-exchange plan for the whole solve: every CG
+  // iteration reuses the same buffers, requests and (in task mode)
+  // communication thread.
+  CommPlan<T> plan(comm, a, scheme);
 
   // r = b - A x0; p = r.
-  dist_spmv(comm, a, std::span<const T>(x_local.data(), n),
-            std::span<T>(ap), scheme, halo, sendbuf);
+  plan.spmv(std::span<const T>(x_local.data(), n), std::span<T>(ap));
   for (std::size_t i = 0; i < n; ++i) r[i] = b_local[i] - ap[i];
   p.assign(r.begin(), r.end());
 
@@ -47,8 +50,7 @@ DistCgResult dist_cg(msg::Comm& comm, const DistMatrix<T>& a,
   }
 
   for (int it = 0; it < max_iterations; ++it) {
-    dist_spmv(comm, a, std::span<const T>(p), std::span<T>(ap), scheme,
-              halo, sendbuf);
+    plan.spmv(std::span<const T>(p), std::span<T>(ap));
     const double pap = comm.allreduce_sum(local_dot<T>(p, ap));
     if (pap <= 0.0) break;
     const T alpha = static_cast<T>(rr / pap);

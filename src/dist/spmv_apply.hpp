@@ -1,0 +1,42 @@
+// Shared kernel application for the distributed spMVM paths. Both the
+// legacy single-shot dist_spmv and the persistent CommPlan dispatch the
+// local/non-local products through these helpers, so the two paths are
+// bit-identical by construction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dist/dist_matrix.hpp"
+#include "sparse/spmv_host.hpp"
+
+namespace spmvm::dist::detail {
+
+/// y = local · x, dispatched through the rank's format plan (falls back
+/// to the raw CSR kernel for hand-assembled DistMatrix instances).
+template <class T>
+inline void apply_local(const DistMatrix<T>& d, std::span<const T> x,
+                        std::span<T> y) {
+  if (d.local_plan != nullptr)
+    d.local_plan->spmv(x, y);
+  else
+    spmv(d.local, x, y);
+}
+
+/// y += nonlocal · halo (the non-local contribution). Plans without a
+/// native fused kernel apply and accumulate via a scratch vector.
+template <class T>
+inline void apply_nonlocal(const DistMatrix<T>& d, std::span<const T> halo,
+                           std::span<T> y) {
+  if (d.n_halo == 0) return;
+  if (d.nonlocal_plan == nullptr) {
+    spmv_axpby(d.nonlocal, halo, y, T{1}, T{1});
+    return;
+  }
+  if (d.nonlocal_plan->spmv_axpby(halo, y, T{1}, T{1})) return;
+  std::vector<T> tmp(static_cast<std::size_t>(d.n_local));
+  d.nonlocal_plan->spmv(halo, std::span<T>(tmp));
+  for (std::size_t i = 0; i < tmp.size(); ++i) y[i] += tmp[i];
+}
+
+}  // namespace spmvm::dist::detail

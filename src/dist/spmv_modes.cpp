@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "dist/comm_plan.hpp"
+#include "dist/spmv_apply.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sparse/spmv_host.hpp"
@@ -97,32 +99,8 @@ std::vector<msg::Request> post_exchange(msg::Comm& comm,
   return reqs;
 }
 
-/// y = local · x, dispatched through the rank's format plan (falls back
-/// to the raw CSR kernel for hand-assembled DistMatrix instances).
-template <class T>
-void apply_local(const DistMatrix<T>& d, std::span<const T> x,
-                 std::span<T> y) {
-  if (d.local_plan != nullptr)
-    d.local_plan->spmv(x, y);
-  else
-    spmv(d.local, x, y);
-}
-
-/// y += nonlocal · halo (the non-local contribution). Plans without a
-/// native fused kernel apply and accumulate via a scratch vector.
-template <class T>
-void apply_nonlocal(const DistMatrix<T>& d, std::span<const T> halo,
-                    std::span<T> y) {
-  if (d.n_halo == 0) return;
-  if (d.nonlocal_plan == nullptr) {
-    spmv_axpby(d.nonlocal, halo, y, T{1}, T{1});
-    return;
-  }
-  if (d.nonlocal_plan->spmv_axpby(halo, y, T{1}, T{1})) return;
-  std::vector<T> tmp(static_cast<std::size_t>(d.n_local));
-  d.nonlocal_plan->spmv(halo, std::span<T>(tmp));
-  for (std::size_t i = 0; i < tmp.size(); ++i) y[i] += tmp[i];
-}
+using detail::apply_local;
+using detail::apply_nonlocal;
 }  // namespace
 
 template <class T>
@@ -269,10 +247,11 @@ std::vector<T> run_power_iterations(msg::Comm& comm, const DistMatrix<T>& d,
                                     int iterations, CommScheme scheme) {
   std::vector<T> x(x0_local.begin(), x0_local.end());
   std::vector<T> y(static_cast<std::size_t>(d.n_local));
-  std::vector<T> halo, sendbuf;
+  // A single persistent plan carries every iteration's halo exchange;
+  // results are bit-identical to per-call dist_spmv.
+  CommPlan<T> plan(comm, d, scheme);
   for (int it = 0; it < iterations; ++it) {
-    dist_spmv(comm, d, std::span<const T>(x), std::span<T>(y), scheme, halo,
-              sendbuf);
+    plan.spmv(std::span<const T>(x), std::span<T>(y));
     // Global normalization keeps values bounded and adds a collective,
     // like a real eigensolver iteration.
     double local_sq = 0.0;

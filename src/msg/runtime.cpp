@@ -6,6 +6,8 @@
 #include <exception>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace spmvm::msg {
 
 namespace detail {
@@ -16,10 +18,25 @@ struct Message {
   std::vector<std::byte> payload;
 };
 
+/// A posted receive waiting for rendezvous delivery. The slot lives in
+/// the owning Request (allocated once for persistent requests) and is
+/// registered in the receiver's mailbox; `done` is written by the
+/// sender and read by the receiver, both under the mailbox mutex.
+struct RecvSlot {
+  int source = -1;
+  int tag = -1;
+  std::span<std::byte> buffer{};
+  bool done = false;
+};
+
 struct Mailbox {
   std::mutex mutex;
   std::condition_variable cv;
-  std::deque<Message> messages;
+  std::deque<Message> messages;  // eager protocol: queued payload copies
+  /// Receives posted before the matching send arrived, FIFO by
+  /// position. A vector (not a deque) so steady-state post/match cycles
+  /// reuse the same capacity and never allocate.
+  std::vector<std::shared_ptr<RecvSlot>> posted;
 };
 
 struct State {
@@ -43,20 +60,67 @@ struct State {
 
 }  // namespace detail
 
+using detail::Mailbox;
 using detail::Message;
+using detail::RecvSlot;
 using detail::State;
 
 int Comm::size() const { return state_->n_ranks; }
 
-Request Comm::isend(int dest, int tag, std::span<const std::byte> data) {
+void Comm::deliver(int dest, int tag, std::span<const std::byte> data) {
   SPMVM_REQUIRE(dest >= 0 && dest < size(), "destination rank out of range");
+  static obs::Counter& c_hits = obs::counter("comm.rendezvous_hits");
+  static obs::Counter& c_eager = obs::counter("comm.eager_fallbacks");
   auto& box = state_->mailboxes[static_cast<std::size_t>(dest)];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
-    box.messages.push_back(
-        Message{rank_, tag, {data.begin(), data.end()}});
+    for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
+      RecvSlot& slot = **it;
+      if (slot.source != rank_ || slot.tag != tag) continue;
+      SPMVM_REQUIRE(data.size() == slot.buffer.size(),
+                    "message size does not match receive buffer");
+      if (!data.empty())
+        std::memcpy(slot.buffer.data(), data.data(), data.size());
+      slot.done = true;
+      box.posted.erase(it);
+      c_hits.add();
+      box.cv.notify_all();
+      return;
+    }
+    box.messages.push_back(Message{rank_, tag, {data.begin(), data.end()}});
+    c_eager.add();
   }
   box.cv.notify_all();
+}
+
+void Comm::post_recv(Request& req) {
+  auto& box = state_->mailboxes[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  // Drain the eager queue first so per-(source, tag) message order is
+  // preserved: a queued message is always older than this receive.
+  const auto it = std::find_if(
+      box.messages.begin(), box.messages.end(), [&](const Message& m) {
+        return m.source == req.peer_ && m.tag == req.tag_;
+      });
+  if (it != box.messages.end()) {
+    SPMVM_REQUIRE(it->payload.size() == req.buffer_.size(),
+                  "message size does not match receive buffer");
+    std::copy(it->payload.begin(), it->payload.end(), req.buffer_.begin());
+    box.messages.erase(it);
+    req.done_ = true;
+    return;
+  }
+  if (req.slot_ == nullptr) req.slot_ = std::make_shared<RecvSlot>();
+  req.slot_->source = req.peer_;
+  req.slot_->tag = req.tag_;
+  req.slot_->buffer = req.buffer_;
+  req.slot_->done = false;
+  box.posted.push_back(req.slot_);
+  req.done_ = false;
+}
+
+Request Comm::isend(int dest, int tag, std::span<const std::byte> data) {
+  deliver(dest, tag, data);
   Request req;
   req.kind_ = Request::Kind::send;
   req.peer_ = dest;
@@ -66,32 +130,94 @@ Request Comm::isend(int dest, int tag, std::span<const std::byte> data) {
 }
 
 Request Comm::irecv(int source, int tag, std::span<std::byte> buffer) {
-  SPMVM_REQUIRE(source >= 0 && source < size(), "source rank out of range");
+  SPMVM_REQUIRE(source >= 0 && source < size(),
+                "irecv: source rank out of range");
+  SPMVM_REQUIRE(source != rank_,
+                "irecv: receiving from self would wait on a mailbox that "
+                "can never fill; self-owned data needs no message");
   Request req;
   req.kind_ = Request::Kind::recv;
   req.peer_ = source;
   req.tag_ = tag;
   req.buffer_ = buffer;
+  post_recv(req);
   return req;
 }
 
+Request Comm::send_init(int dest, int tag, std::span<const std::byte> data) {
+  SPMVM_REQUIRE(dest >= 0 && dest < size(),
+                "send_init: destination rank out of range");
+  SPMVM_REQUIRE(dest != rank_, "send_init: no self-communication");
+  Request req;
+  req.kind_ = Request::Kind::send;
+  req.peer_ = dest;
+  req.tag_ = tag;
+  req.send_data_ = data;
+  req.persistent_ = true;
+  return req;
+}
+
+Request Comm::recv_init(int source, int tag, std::span<std::byte> buffer) {
+  SPMVM_REQUIRE(source >= 0 && source < size(),
+                "recv_init: source rank out of range");
+  SPMVM_REQUIRE(source != rank_,
+                "recv_init: receiving from self would wait on a mailbox "
+                "that can never fill; self-owned data needs no message");
+  Request req;
+  req.kind_ = Request::Kind::recv;
+  req.peer_ = source;
+  req.tag_ = tag;
+  req.buffer_ = buffer;
+  req.persistent_ = true;
+  req.slot_ = std::make_shared<RecvSlot>();  // reused by every start()
+  return req;
+}
+
+void Comm::start(Request& req) {
+  SPMVM_REQUIRE(req.persistent_, "start: request is not persistent");
+  SPMVM_REQUIRE(!req.active_, "start: persistent request already active");
+  req.active_ = true;
+  if (req.kind_ == Request::Kind::send) {
+    deliver(req.peer_, req.tag_, req.send_data_);
+    req.done_ = true;
+  } else {
+    post_recv(req);
+  }
+}
+
+void Comm::startall(std::span<Request> reqs) {
+  for (auto& r : reqs) start(r);
+}
+
+void Comm::cancel(Request& req) {
+  if (req.kind_ != Request::Kind::recv || req.slot_ == nullptr) {
+    req.active_ = false;
+    return;
+  }
+  auto& box = state_->mailboxes[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  const auto it =
+      std::find(box.posted.begin(), box.posted.end(), req.slot_);
+  if (it != box.posted.end()) box.posted.erase(it);
+  req.active_ = false;
+  req.done_ = false;
+}
+
 void Comm::wait(Request& req) {
-  if (req.done_ || req.kind_ == Request::Kind::none) return;
+  if (req.kind_ == Request::Kind::none) return;
+  if (req.persistent_ && !req.active_) return;  // inactive: nothing pending
+  if (req.done_) {
+    req.active_ = false;
+    return;
+  }
   SPMVM_REQUIRE(req.kind_ == Request::Kind::recv,
                 "only receive requests can be pending");
   auto& box = state_->mailboxes[static_cast<std::size_t>(rank_)];
   std::unique_lock<std::mutex> lock(box.mutex);
   for (;;) {
-    const auto it = std::find_if(
-        box.messages.begin(), box.messages.end(), [&](const Message& m) {
-          return m.source == req.peer_ && m.tag == req.tag_;
-        });
-    if (it != box.messages.end()) {
-      SPMVM_REQUIRE(it->payload.size() == req.buffer_.size(),
-                    "message size does not match receive buffer");
-      std::copy(it->payload.begin(), it->payload.end(), req.buffer_.begin());
-      box.messages.erase(it);
+    if (req.slot_ != nullptr && req.slot_->done) {
       req.done_ = true;
+      req.active_ = false;
       return;
     }
     SPMVM_REQUIRE(!state_->aborted.load(),

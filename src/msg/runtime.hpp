@@ -1,11 +1,20 @@
 // In-process message-passing runtime.
 //
 // Substitute for MPI on the Dirac cluster (DESIGN.md §2): ranks run as
-// threads of one process and exchange copies of byte buffers through
-// per-rank mailboxes, with MPI-like nonblocking semantics (isend/irecv +
-// wait/waitall, tag and source matching), a barrier, and the collectives
-// the distributed spMVM needs. Functional behaviour only — wall-clock
-// performance of a *cluster* is produced by dist/cluster_model.
+// threads of one process and exchange byte buffers through per-rank
+// mailboxes, with MPI-like nonblocking semantics (isend/irecv +
+// wait/waitall, tag and source matching), persistent requests
+// (send_init/recv_init/start, the MPI_*_init family), a barrier, and
+// the collectives the distributed spMVM needs.
+//
+// Delivery uses a rendezvous fast path: when the receiver has already
+// posted a matching receive, the sender copies the payload straight
+// into the posted buffer — one copy, no mailbox allocation. Otherwise
+// the eager protocol queues a copy in the destination mailbox and the
+// receive drains it later (two copies). The split is observable through
+// the obs counters `comm.rendezvous_hits` / `comm.eager_fallbacks`.
+// Functional behaviour only — wall-clock performance of a *cluster* is
+// produced by dist/cluster_model.
 #pragma once
 
 #include <condition_variable>
@@ -23,9 +32,12 @@ namespace spmvm::msg {
 
 namespace detail {
 struct State;
+struct RecvSlot;
 }
 
-/// Handle for a pending nonblocking operation.
+/// Handle for a pending nonblocking operation. Persistent requests
+/// (send_init/recv_init) stay bound to their peer/tag/buffer and can be
+/// re-activated with Comm::start after every wait.
 class Request {
  public:
   Request() = default;
@@ -36,8 +48,12 @@ class Request {
   Kind kind_ = Kind::none;
   int peer_ = -1;
   int tag_ = -1;
-  std::span<std::byte> buffer_{};
+  std::span<std::byte> buffer_{};            // receive target
+  std::span<const std::byte> send_data_{};   // persistent-send payload
+  std::shared_ptr<detail::RecvSlot> slot_{}; // posted-receive registration
   bool done_ = false;
+  bool persistent_ = false;
+  bool active_ = false;  // persistent: started and not yet waited
 };
 
 /// Per-rank communicator handed to the rank function by Runtime::run.
@@ -46,12 +62,40 @@ class Comm {
   int rank() const { return rank_; }
   int size() const;
 
-  /// Buffered nonblocking send: the data is copied into the destination
-  /// mailbox immediately; the request completes at once (eager protocol).
+  /// Buffered nonblocking send: the payload lands either directly in a
+  /// matching posted receive buffer (rendezvous) or as a copy in the
+  /// destination mailbox (eager); the request completes at once.
   Request isend(int dest, int tag, std::span<const std::byte> data);
 
-  /// Nonblocking receive of exactly buffer.size() bytes from (source, tag).
+  /// Nonblocking receive of exactly buffer.size() bytes from (source,
+  /// tag). The receive is posted immediately: an already-queued eager
+  /// message is drained on the spot, otherwise the buffer is registered
+  /// for rendezvous delivery. Receiving from self or an out-of-range
+  /// rank is rejected up front — such a receive could never complete.
   Request irecv(int source, int tag, std::span<std::byte> buffer);
+
+  // ---- persistent requests (MPI_Send_init / MPI_Recv_init style) ---------
+
+  /// Bind a send to (dest, tag, data) without starting it. The returned
+  /// request is inactive; each start() delivers the current contents of
+  /// `data`, and wait() re-arms it for the next start().
+  Request send_init(int dest, int tag, std::span<const std::byte> data);
+
+  /// Bind a receive to (source, tag, buffer) without posting it. Each
+  /// start() posts the receive (registering `buffer` for rendezvous
+  /// delivery); wait() completes it and re-arms for the next start().
+  /// The registration slot is allocated once, here — steady-state
+  /// start/wait cycles perform no heap allocation.
+  Request recv_init(int source, int tag, std::span<std::byte> buffer);
+
+  /// Activate a persistent request. Starting an already-active request
+  /// is an error.
+  void start(Request& req);
+  void startall(std::span<Request> reqs);
+
+  /// Deregister a started-but-unmatched persistent receive (teardown of
+  /// a communication plan). No-op for completed or inactive requests.
+  void cancel(Request& req);
 
   void wait(Request& req);
   void waitall(std::span<Request> reqs);
@@ -85,6 +129,14 @@ class Comm {
     return irecv(source, tag, std::as_writable_bytes(buffer));
   }
   template <class T>
+  Request send_init_t(int dest, int tag, std::span<const T> data) {
+    return send_init(dest, tag, std::as_bytes(data));
+  }
+  template <class T>
+  Request recv_init_t(int source, int tag, std::span<T> buffer) {
+    return recv_init(source, tag, std::as_writable_bytes(buffer));
+  }
+  template <class T>
   void send_t(int dest, int tag, std::span<const T> data) {
     send(dest, tag, std::as_bytes(data));
   }
@@ -115,6 +167,14 @@ class Comm {
   friend class Runtime;
   Comm(int rank, std::shared_ptr<detail::State> state)
       : rank_(rank), state_(std::move(state)) {}
+
+  /// Send-side delivery: rendezvous into a posted receive when one
+  /// matches, eager mailbox copy otherwise.
+  void deliver(int dest, int tag, std::span<const std::byte> data);
+  /// Receive-side posting: drain a queued eager message or register the
+  /// buffer for rendezvous delivery.
+  void post_recv(Request& req);
+
   int rank_;
   std::shared_ptr<detail::State> state_;
 };

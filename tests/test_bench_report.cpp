@@ -199,10 +199,11 @@ namespace {
 
 TEST(SuiteRegistry, IsFixedAndOrdered) {
   const auto s = scenarios();
-  ASSERT_EQ(s.size(), 6u);
+  ASSERT_EQ(s.size(), 7u);
   const std::vector<std::string> names = {
       "host_kernels",    "auto_format",     "model_deviation",
-      "host_reference",  "pcie_thresholds", "dist_comm_modes"};
+      "host_reference",  "pcie_thresholds", "dist_comm_modes",
+      "dist_comm"};
   std::set<std::string> seen;
   for (std::size_t i = 0; i < s.size(); ++i) {
     EXPECT_EQ(s[i].name, names[i]);

@@ -244,7 +244,8 @@ TEST(TraceIntegration, SolverAndDistRunExportAllLayers) {
     EXPECT_TRUE(r.converged);
   }
 
-  // One distributed power iteration in task mode: comm-phase spans.
+  // One distributed power iteration in task mode: comm-phase spans from
+  // the persistent halo-exchange plan.
   {
     const auto a = make_poisson2d<double>(24, 24);
     const auto part = dist::partition_balanced_nnz(a, 2);
@@ -263,7 +264,7 @@ TEST(TraceIntegration, SolverAndDistRunExportAllLayers) {
   EXPECT_TRUE(json_well_formed(json));
   for (const char* span_name :
        {"solver/cg", "solver/cg/iteration", "kernel/csr", "pool/part",
-        "dist/spmv_task", "comm/local_gather", "comm/waitall",
+        "dist/plan_task", "comm/plan_gather", "comm/plan_waitall",
         "kernel/local"}) {
     EXPECT_NE(json.find("\"name\":\"" + std::string(span_name) + "\""),
               std::string::npos)

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace spmvm::msg {
@@ -187,6 +189,97 @@ TEST(MsgRuntime, RejectsBadRankArguments) {
                                                std::span<const int>(&x, 1));
                             }),
                Error);
+}
+
+TEST(MsgRuntime, IrecvRejectsSelfAndOutOfRangeSource) {
+  // A receive from self or from a nonexistent rank could never be
+  // satisfied; it must fail up front instead of hanging.
+  for (const int bad_source : {-1, 2, 5}) {
+    EXPECT_THROW(Runtime::run(2,
+                              [&](Comm& comm) {
+                                int v = 0;
+                                comm.irecv_t<int>(bad_source, 0,
+                                                  std::span<int>(&v, 1));
+                              }),
+                 Error)
+        << "source " << bad_source;
+  }
+  EXPECT_THROW(Runtime::run(2,
+                            [](Comm& comm) {
+                              int v = 0;
+                              comm.irecv_t<int>(comm.rank(), 0,
+                                                std::span<int>(&v, 1));
+                            }),
+               Error);
+}
+
+TEST(MsgRuntime, PersistentRequestsRoundTripRepeatedly) {
+  Runtime::run(2, [](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    std::vector<int> out(4), in(4);
+    Request send = comm.send_init_t<int>(peer, 9, std::span<const int>(out));
+    Request recv = comm.recv_init_t<int>(peer, 9, std::span<int>(in));
+    for (int it = 0; it < 20; ++it) {
+      for (int i = 0; i < 4; ++i) out[static_cast<std::size_t>(i)] =
+          comm.rank() * 1000 + it * 10 + i;
+      comm.start(recv);
+      comm.barrier();  // both receives posted before either send starts
+      comm.start(send);
+      comm.wait(send);
+      comm.wait(recv);
+      for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(in[static_cast<std::size_t>(i)], peer * 1000 + it * 10 + i)
+            << "iteration " << it;
+      comm.barrier();
+    }
+  });
+}
+
+TEST(MsgRuntime, PostedReceiveTakesRendezvousPath) {
+  std::uint64_t hits_delta = 0, eager_delta = 0;
+  Runtime::run(2, [&](Comm& comm) {
+    double v = 0.0;
+    Request recv;
+    if (comm.rank() == 1)
+      recv = comm.irecv_t<double>(0, 3, std::span<double>(&v, 1));
+    comm.barrier();
+    std::uint64_t hits0 = 0, eager0 = 0;
+    if (comm.rank() == 0) {
+      hits0 = obs::counter("comm.rendezvous_hits").value();
+      eager0 = obs::counter("comm.eager_fallbacks").value();
+      const double x = 42.0;
+      comm.send_t<double>(1, 3, std::span<const double>(&x, 1));
+      hits_delta = obs::counter("comm.rendezvous_hits").value() - hits0;
+      eager_delta = obs::counter("comm.eager_fallbacks").value() - eager0;
+    }
+    if (comm.rank() == 1) {
+      comm.wait(recv);
+      EXPECT_EQ(v, 42.0);
+    }
+  });
+  EXPECT_EQ(hits_delta, 1u);
+  EXPECT_EQ(eager_delta, 0u);
+}
+
+TEST(MsgRuntime, CancelRemovesPostedPersistentReceive) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      double v = 0.0;
+      Request recv = comm.recv_init_t<double>(1, 4, std::span<double>(&v, 1));
+      comm.start(recv);
+      comm.cancel(recv);
+      comm.barrier();
+      comm.barrier();  // peer has sent by now
+      // The send must have taken the eager path, not scribbled into the
+      // canceled buffer.
+      EXPECT_EQ(v, 0.0);
+    } else {
+      comm.barrier();
+      const double x = 7.0;
+      comm.send_t<double>(0, 4, std::span<const double>(&x, 1));
+      comm.barrier();
+    }
+  });
 }
 
 }  // namespace
