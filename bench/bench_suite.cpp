@@ -17,10 +17,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "obs/regress.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "suite_scenarios.hpp"
 #include "util/ascii.hpp"
 #include "util/error.hpp"
@@ -35,7 +38,7 @@ void print_usage(const char* argv0) {
       "usage: %s [--smoke] [--filter <substr>] [--json <path>]\n"
       "          [--compare <baseline.json>] [--compare-files <a> <b>]\n"
       "          [--rel-tol <frac>] [--stddev-k <k>] [--gate <substr>]\n"
-      "          [--list]\n"
+      "          [--trace <out.json>] [--list]\n"
       "env: SPMVM_BENCH_REPS, SPMVM_BENCH_MIN_SECONDS, SPMVM_BENCH_SCALE,\n"
       "     SPMVM_BENCH_THREADS, SPMVM_BENCH_REL_TOL, SPMVM_BENCH_STDDEV_K\n",
       argv0);
@@ -81,6 +84,7 @@ int main(int argc, char** argv) {
   std::string filter;
   std::string json_path;
   std::string baseline_path;
+  std::string trace_path;
   std::string cmp_a, cmp_b;
   obs::RegressOptions opt;
   opt.rel_tol = env_or("SPMVM_BENCH_REL_TOL", opt.rel_tol);
@@ -126,6 +130,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(a, "--gate") == 0) {
       if ((v = value_of(i, a)) == nullptr) return 2;
       opt.name_filter = v;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      if ((v = value_of(i, a)) == nullptr) return 2;
+      trace_path = v;
     } else {
       print_usage(argv[0]);
       return 2;
@@ -152,12 +159,31 @@ int main(int argc, char** argv) {
                 "host_scale=%g, threads=%d\n\n",
                 cfg.smoke ? "smoke" : "full", cfg.min_reps, cfg.min_seconds,
                 cfg.host_scale, cfg.threads);
+    if (!trace_path.empty()) obs::set_tracing(true);
     const obs::BenchReport report = suite::run_suite(cfg, filter);
     print_report(report);
 
     if (!json_path.empty() && !report.write(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 2;
+    }
+
+    if (!trace_path.empty()) {
+      // Round-trip through split/merge: the per-rank parts of the run
+      // are rebased and tid-remapped exactly like traces collected from
+      // separate processes, so the written file is a *merged* multi-rank
+      // Chrome trace (one pid lane per rank, send→recv flow arrows).
+      obs::set_tracing(false);
+      const obs::MergedTrace merged = obs::merge_traces(
+          obs::split_trace_by_rank(obs::collect(), obs::trace_threads()));
+      std::ofstream out(trace_path);
+      out << obs::chrome_trace_json(merged.events, merged.threads);
+      if (!out) {
+        std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+        return 2;
+      }
+      std::printf("merged trace (%zu spans) written to %s\n",
+                  merged.events.size(), trace_path.c_str());
     }
 
     if (!baseline_path.empty())

@@ -1,6 +1,7 @@
 #include "suite_scenarios.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <string_view>
@@ -10,8 +11,10 @@
 #include "dist/comm_plan.hpp"
 #include "formats/registry.hpp"
 #include "matgen/suite.hpp"
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "perfmodel/balance.hpp"
 #include "perfmodel/model_eval.hpp"
 #include "perfmodel/pcie_impact.hpp"
@@ -261,6 +264,14 @@ void run_dist_comm(const SuiteConfig& cfg, obs::BenchReport& report) {
     const std::uint64_t send0 = obs::counter("comm.send_bytes").value();
     const std::uint64_t hits0 = obs::counter("comm.rendezvous_hits").value();
     const std::uint64_t eager0 = obs::counter("comm.eager_fallbacks").value();
+    // The same run doubles as the attribution window: tracing is forced
+    // on for it, and the events recorded after `trace_t0` are attributed
+    // per rank and phase (DESIGN.md §11). Time-clipping instead of
+    // clear_trace() keeps spans of earlier scenarios intact for a
+    // --trace export.
+    const bool was_tracing = obs::tracing_enabled();
+    obs::set_tracing(true);
+    const std::uint64_t trace_t0 = obs::now_ns();
     msg::Runtime::run(n_ranks, [&](msg::Comm& comm) {
       const auto d = dist::distribute(m.matrix, part, comm.rank());
       std::vector<double> x(static_cast<std::size_t>(d.n_local), 1.0);
@@ -271,6 +282,18 @@ void run_dist_comm(const SuiteConfig& cfg, obs::BenchReport& report) {
         comm.barrier();
       }
     });
+    obs::set_tracing(was_tracing);
+    std::vector<obs::TraceEvent> window;
+    for (const auto& e : obs::collect())
+      if (e.t0_ns >= trace_t0) window.push_back(e);
+    const obs::AttributionReport attr = obs::attribute_comm_phases(window);
+    if (!attr.empty()) {
+      report.entries.push_back(obs::summarize_samples(
+          std::string("dist_comm_phase/") + scheme_slug(scheme), {},
+          attr.counters()));
+      std::printf("dist_comm/%s comm attribution (%d ranks, %d iters):\n%s\n",
+                  scheme_slug(scheme), n_ranks, iters, attr.render().c_str());
+    }
     const double per_iter =
         1.0 / static_cast<double>(iters) / n_ranks;  // per rank-iteration
     report.entries.push_back(obs::summarize_samples(
@@ -429,6 +452,10 @@ obs::BenchReport run_suite(const SuiteConfig& cfg, const std::string& filter) {
     if (!filter.empty() &&
         std::string_view(s.name).find(filter) == std::string_view::npos)
       continue;
+    // Every scenario starts from zeroed counters/histograms so the
+    // deltas it reports cannot bleed in traffic from earlier scenarios
+    // (gauges keep their last value by design).
+    obs::reset_metrics();
     s.run(cfg, report);
   }
   record_deviation_table(report);

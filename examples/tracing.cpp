@@ -2,6 +2,9 @@
 // iteration with tracing on, then export the run three ways — Chrome
 // trace JSON (chrome://tracing / ui.perfetto.dev), an ASCII timeline of
 // the comm phases (the measured Fig. 4), and Prometheus metrics text.
+// The distributed section records into rank lanes (one Chrome process
+// group per rank) with flow arrows pairing each send with its receive
+// — see DESIGN.md §11.
 //
 // Usage: tracing [trace.json]
 #include <cstdio>
@@ -42,7 +45,10 @@ int main(int argc, char** argv) {
   }
 
   // 2. Distributed power iterations in task mode: the comm thread and
-  //    the halo-exchange phases of Fig. 4.
+  //    the halo-exchange phases of Fig. 4. Runtime::run stamps each
+  //    rank thread's lane (obs::set_rank), so these spans land in
+  //    per-rank process groups in the Chrome export and the timeline
+  //    below prefixes their actors with "rN/".
   {
     const auto a = make_poisson2d<double>(64, 64);
     const auto part = dist::partition_balanced_nnz(a, 2);

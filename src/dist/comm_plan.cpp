@@ -168,6 +168,9 @@ void CommPlan<T>::wait_receives() {
 template <class T>
 void CommPlan<T>::comm_thread_loop() {
   obs::set_thread_name("comm thread");
+  // The comm thread works on behalf of its owning rank: its spans
+  // (plan_sends/plan_waitall, msg flows) belong in the same rank lane.
+  obs::set_rank(comm_.rank());
   std::unique_lock<std::mutex> lk(m_);
   for (;;) {
     cv_.wait(lk, [&] { return work_ || stop_; });
@@ -271,7 +274,10 @@ void CommPlan<T>::spmv(std::span<const T> x_local, std::span<T> y_local) {
   // sends rendezvous straight into halo_. A send that arrives before its
   // receive is re-posted (a rank racing a full iteration ahead) falls
   // back to the eager queue — slower, never wrong.
-  start_receives();
+  {
+    SPMVM_TRACE_SPAN("comm/plan_repost");
+    start_receives();
+  }
   ++iterations_;
 }
 

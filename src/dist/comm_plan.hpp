@@ -22,6 +22,12 @@
 // bit-identical to the legacy dist_spmv: the kernels run through the
 // same shared apply helpers in the same order.
 //
+// Every iteration is traced as a dist/plan_* span whose phases —
+// comm/plan_gather, comm/plan_sends, comm/plan_waitall, kernel/local,
+// kernel/nonlocal, comm/plan_repost — feed the per-rank attribution of
+// obs/attribution (DESIGN.md §11); the task-mode comm thread records
+// its phases in its owner's rank lane.
+//
 // Collective contract: construction posts this rank's receives and then
 // barriers, so every rank must build its plan at the same point of the
 // SPMD program. One plan may be active per Comm at a time (plans share

@@ -43,8 +43,13 @@ Timeline timeline_from_trace(const std::vector<obs::TraceEvent>& events,
   for (const auto& e : events) origin = std::min(origin, e.t0_ns);
   Timeline tl;
   for (const auto& t : threads) {
-    const std::string actor =
+    // Rank-lane threads get an "rN/" actor prefix so a merged
+    // multi-rank trace reads as one timeline with distinguishable rows;
+    // unranked threads keep their plain name (single-process traces are
+    // unchanged).
+    std::string actor =
         t.name.empty() ? "thread " + std::to_string(t.tid) : t.name;
+    if (t.rank >= 0) actor = "r" + std::to_string(t.rank) + "/" + actor;
     for (const auto& e : events) {
       if (e.tid != t.tid || e.depth > max_depth) continue;
       tl.add(actor, e.name ? e.name : "?",

@@ -37,8 +37,11 @@ class Timeline {
 
 /// Build a Timeline from recorded trace spans: one actor per thread
 /// (named via obs::set_thread_name, else "thread N"), spans at depth
-/// <= max_depth, times rebased so the earliest span starts at 0. This
-/// renders a *measured* Fig. 4 next to the modeled one.
+/// <= max_depth, times rebased so the earliest span starts at 0.
+/// Threads assigned to a rank lane (obs::set_rank) get an "rN/" actor
+/// prefix, so a merged multi-rank trace renders as one Fig. 4 with a
+/// row group per rank. This renders a *measured* Fig. 4 next to the
+/// modeled one.
 Timeline timeline_from_trace(const std::vector<obs::TraceEvent>& events,
                              const std::vector<obs::TraceThread>& threads,
                              std::uint16_t max_depth = 1);

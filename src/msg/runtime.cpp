@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace spmvm::msg {
 
@@ -16,6 +17,7 @@ struct Message {
   int source;
   int tag;
   std::vector<std::byte> payload;
+  std::uint64_t flow_id = 0;  // trace flow pairing (0 = untraced send)
 };
 
 /// A posted receive waiting for rendezvous delivery. The slot lives in
@@ -27,6 +29,7 @@ struct RecvSlot {
   int tag = -1;
   std::span<std::byte> buffer{};
   bool done = false;
+  std::uint64_t flow_id = 0;  // stamped by the sender on delivery
 };
 
 struct Mailbox {
@@ -42,9 +45,21 @@ struct Mailbox {
 struct State {
   explicit State(int n) : n_ranks(n), mailboxes(static_cast<std::size_t>(n)) {
     reduce_slots.assign(static_cast<std::size_t>(n), 0.0);
+    // Per-peer traffic counters, resolved once here so the send/receive
+    // hot paths never touch the registry map (steady-state plan
+    // iterations stay allocation-free, asserted in test_comm_plan).
+    bytes_sent_to.reserve(static_cast<std::size_t>(n));
+    bytes_recv_from.reserve(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      const std::string peer = "{peer=" + std::to_string(p) + "}";
+      bytes_sent_to.push_back(&obs::counter("comm.bytes_sent" + peer));
+      bytes_recv_from.push_back(&obs::counter("comm.bytes_recv" + peer));
+    }
   }
   int n_ranks;
   std::vector<Mailbox> mailboxes;
+  std::vector<obs::Counter*> bytes_sent_to;    // indexed by destination
+  std::vector<obs::Counter*> bytes_recv_from;  // indexed by source
   std::atomic<bool> aborted{false};
 
   // Barrier (generation counting).
@@ -71,6 +86,17 @@ void Comm::deliver(int dest, int tag, std::span<const std::byte> data) {
   SPMVM_REQUIRE(dest >= 0 && dest < size(), "destination rank out of range");
   static obs::Counter& c_hits = obs::counter("comm.rendezvous_hits");
   static obs::Counter& c_eager = obs::counter("comm.eager_fallbacks");
+  state_->bytes_sent_to[static_cast<std::size_t>(dest)]->add(data.size());
+  // The send span carries a fresh flow id; the id travels with the
+  // payload (RecvSlot / Message) and the matching receive span stamps
+  // the same id, which exporters draw as a send→recv arrow.
+  SPMVM_TRACE_SPAN_NAMED(span, "msg/send", data.size());
+  std::uint64_t flow = 0;
+  if (span.active()) {
+    flow = obs::next_flow_id();
+    span.set_flow(obs::FlowDir::send, flow);
+    span.set_arg("peer", dest);
+  }
   auto& box = state_->mailboxes[static_cast<std::size_t>(dest)];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
@@ -82,13 +108,17 @@ void Comm::deliver(int dest, int tag, std::span<const std::byte> data) {
       if (!data.empty())
         std::memcpy(slot.buffer.data(), data.data(), data.size());
       slot.done = true;
+      slot.flow_id = flow;
       box.posted.erase(it);
       c_hits.add();
+      span.set_arg("rendezvous", 1.0);
       box.cv.notify_all();
       return;
     }
-    box.messages.push_back(Message{rank_, tag, {data.begin(), data.end()}});
+    box.messages.push_back(
+        Message{rank_, tag, {data.begin(), data.end()}, flow});
     c_eager.add();
+    span.set_arg("rendezvous", 0.0);
   }
   box.cv.notify_all();
 }
@@ -105,7 +135,17 @@ void Comm::post_recv(Request& req) {
   if (it != box.messages.end()) {
     SPMVM_REQUIRE(it->payload.size() == req.buffer_.size(),
                   "message size does not match receive buffer");
-    std::copy(it->payload.begin(), it->payload.end(), req.buffer_.begin());
+    {
+      SPMVM_TRACE_SPAN_NAMED(span, "msg/recv", it->payload.size());
+      if (span.active()) {
+        span.set_arg("peer", req.peer_);
+        if (it->flow_id != 0)
+          span.set_flow(obs::FlowDir::recv, it->flow_id);
+      }
+      std::copy(it->payload.begin(), it->payload.end(), req.buffer_.begin());
+    }
+    state_->bytes_recv_from[static_cast<std::size_t>(req.peer_)]->add(
+        it->payload.size());
     box.messages.erase(it);
     req.done_ = true;
     return;
@@ -115,6 +155,7 @@ void Comm::post_recv(Request& req) {
   req.slot_->tag = req.tag_;
   req.slot_->buffer = req.buffer_;
   req.slot_->done = false;
+  req.slot_->flow_id = 0;
   box.posted.push_back(req.slot_);
   req.done_ = false;
 }
@@ -216,6 +257,20 @@ void Comm::wait(Request& req) {
   std::unique_lock<std::mutex> lock(box.mutex);
   for (;;) {
     if (req.slot_ != nullptr && req.slot_->done) {
+      // Rendezvous completion: the sender already filled the buffer;
+      // record the receive end of the flow at the point the receiver
+      // observed it.
+      {
+        SPMVM_TRACE_SPAN_NAMED(span, "msg/recv", req.buffer_.size());
+        if (span.active()) {
+          span.set_arg("peer", req.peer_);
+          if (req.slot_->flow_id != 0)
+            span.set_flow(obs::FlowDir::recv, req.slot_->flow_id);
+        }
+      }
+      state_->bytes_recv_from[static_cast<std::size_t>(req.peer_)]->add(
+          req.buffer_.size());
+      req.slot_->flow_id = 0;
       req.done_ = true;
       req.active_ = false;
       return;
@@ -312,6 +367,7 @@ void Runtime::run(int n_ranks, const std::function<void(Comm&)>& rank_fn) {
   threads.reserve(static_cast<std::size_t>(n_ranks));
   for (int r = 0; r < n_ranks; ++r) {
     threads.emplace_back([r, state, &rank_fn, &errors] {
+      obs::set_rank(r);  // every span this rank records lands in lane r
       Comm comm(r, state);
       try {
         rank_fn(comm);

@@ -15,6 +15,13 @@
 // the obs counters `comm.rendezvous_hits` / `comm.eager_fallbacks`.
 // Functional behaviour only — wall-clock performance of a *cluster* is
 // produced by dist/cluster_model.
+//
+// Observability (DESIGN.md §11): Runtime::run assigns each rank thread
+// its trace lane (obs::set_rank), every delivery records a `msg/send`
+// span and every completion a matching `msg/recv` span linked by a
+// flow id (exported as send→recv arrows in Chrome traces), and traffic
+// is attributed per peer through the always-on counters
+// `comm.bytes_sent{peer=N}` / `comm.bytes_recv{peer=N}`.
 #pragma once
 
 #include <condition_variable>

@@ -1,0 +1,194 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "util/ascii.hpp"
+
+namespace spmvm::obs {
+
+namespace {
+
+bool is_iteration_span(const TraceEvent& e) {
+  return e.name != nullptr &&
+         std::strncmp(e.name, "dist/plan_", 10) == 0;
+}
+
+/// Phase of a span, or -1 when the span is not a comm-plan phase.
+int phase_of(const TraceEvent& e) {
+  if (e.name == nullptr) return -1;
+  struct NamePhase {
+    const char* name;
+    CommPhase phase;
+  };
+  static constexpr NamePhase kMap[] = {
+      {"comm/plan_gather", CommPhase::gather},
+      {"comm/plan_sends", CommPhase::post},
+      {"comm/plan_waitall", CommPhase::wait},
+      {"kernel/local", CommPhase::local},
+      {"kernel/nonlocal", CommPhase::nonlocal},
+      {"comm/plan_repost", CommPhase::repost},
+  };
+  for (const auto& m : kMap)
+    if (std::strcmp(e.name, m.name) == 0) return static_cast<int>(m.phase);
+  return -1;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double arg_value(const TraceEvent& e, const char* key, double fallback) {
+  for (int i = 0; i < e.n_args; ++i)
+    if (e.arg_name[i] != nullptr && std::strcmp(e.arg_name[i], key) == 0)
+      return e.arg_value[i];
+  return fallback;
+}
+
+}  // namespace
+
+const char* to_string(CommPhase p) {
+  switch (p) {
+    case CommPhase::gather: return "gather";
+    case CommPhase::post: return "post";
+    case CommPhase::wait: return "wait";
+    case CommPhase::local: return "local";
+    case CommPhase::nonlocal: return "nonlocal";
+    case CommPhase::repost: return "repost";
+  }
+  return "?";
+}
+
+double AttributionReport::overlap_pct() const {
+  double wall = 0.0, hidden = 0.0;
+  for (const auto& r : ranks) {
+    wall += r.wall_s;
+    hidden += r.overlap_s;
+  }
+  return wall > 0.0 ? 100.0 * hidden / wall : 0.0;
+}
+
+std::string AttributionReport::render() const {
+  std::ostringstream os;
+  if (empty()) {
+    os << "(no comm-plan iterations in trace)\n";
+    return os.str();
+  }
+  AsciiTable phase_table(
+      {"phase", "min [us]", "median [us]", "max [us]", "total [us]"});
+  for (const auto& p : phases)
+    phase_table.add_row({to_string(p.phase), fmt(p.min_s * 1e6, 1),
+                         fmt(p.median_s * 1e6, 1), fmt(p.max_s * 1e6, 1),
+                         fmt(p.total_s * 1e6, 1)});
+  os << "phase spread across ranks (per-rank totals over the window):\n"
+     << phase_table.render();
+
+  AsciiTable rank_table({"rank", "iters", "wall [us]", "phase sum [us]",
+                         "hidden [us]", "overlap %"});
+  for (const auto& r : ranks)
+    rank_table.add_row(
+        {r.rank < 0 ? std::string("-") : std::to_string(r.rank),
+         std::to_string(r.iterations), fmt(r.wall_s * 1e6, 1),
+         fmt(r.phase_sum_s * 1e6, 1), fmt(r.overlap_s * 1e6, 1),
+         fmt(r.overlap_pct(), 1)});
+  os << "per-rank attribution:\n" << rank_table.render();
+
+  if (!peers.empty()) {
+    AsciiTable peer_table({"edge", "messages", "bytes", "GB/s"});
+    for (const auto& p : peers)
+      peer_table.add_row({std::to_string(p.rank) + " -> " +
+                              std::to_string(p.peer),
+                          std::to_string(p.messages),
+                          fmt_count(static_cast<long long>(p.bytes)),
+                          fmt(p.gbytes_per_s(), 2)});
+    os << "per-peer message bandwidth (msg/send spans):\n"
+       << peer_table.render();
+  }
+  return os.str();
+}
+
+std::vector<std::pair<std::string, double>> AttributionReport::counters()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  if (empty()) return out;
+  std::uint64_t iters = 0;
+  std::vector<double> walls;
+  for (const auto& r : ranks) {
+    iters += r.iterations;
+    walls.push_back(r.wall_s);
+  }
+  for (const auto& p : phases)
+    out.emplace_back(std::string(to_string(p.phase)) + "_s", p.median_s);
+  out.emplace_back("wall_s", median(std::move(walls)));
+  out.emplace_back("overlap_pct", overlap_pct());
+  out.emplace_back("ranks", static_cast<double>(ranks.size()));
+  out.emplace_back("iterations", static_cast<double>(iters));
+  return out;
+}
+
+AttributionReport attribute_comm_phases(
+    const std::vector<TraceEvent>& events) {
+  std::map<int, RankPhases> by_rank;
+  std::map<std::pair<int, int>, PeerRate> by_edge;
+  for (const auto& e : events) {
+    if (is_iteration_span(e)) {
+      RankPhases& r = by_rank[e.rank];
+      r.rank = e.rank;
+      ++r.iterations;
+      r.wall_s += e.seconds();
+      continue;
+    }
+    const int phase = phase_of(e);
+    if (phase >= 0) {
+      RankPhases& r = by_rank[e.rank];
+      r.rank = e.rank;
+      r.phase_s[phase] += e.seconds();
+      continue;
+    }
+    if (e.name != nullptr && std::strcmp(e.name, "msg/send") == 0) {
+      const int peer = static_cast<int>(arg_value(e, "peer", -1.0));
+      PeerRate& p = by_edge[{e.rank, peer}];
+      p.rank = e.rank;
+      p.peer = peer;
+      p.bytes += e.bytes;
+      p.seconds += e.seconds();
+      ++p.messages;
+    }
+  }
+  // Task mode records its post/wait phases on the comm thread, which
+  // shares the rank lane with its owner — the per-rank grouping above
+  // already folds them together. Ranks whose lane saw phases but no
+  // iteration span (a clipped window) are kept: wall 0, overlap 0.
+  AttributionReport report;
+  for (auto& [rank, r] : by_rank) {
+    for (int p = 0; p < kNumCommPhases; ++p) r.phase_sum_s += r.phase_s[p];
+    r.overlap_s = std::max(0.0, r.phase_sum_s - r.wall_s);
+    report.ranks.push_back(r);
+  }
+  for (int p = 0; p < kNumCommPhases; ++p) {
+    PhaseSpread s;
+    s.phase = static_cast<CommPhase>(p);
+    std::vector<double> totals;
+    for (const auto& r : report.ranks) {
+      totals.push_back(r.phase_s[p]);
+      s.total_s += r.phase_s[p];
+    }
+    s.min_s = totals.empty()
+                  ? 0.0
+                  : *std::min_element(totals.begin(), totals.end());
+    s.max_s = totals.empty()
+                  ? 0.0
+                  : *std::max_element(totals.begin(), totals.end());
+    s.median_s = median(std::move(totals));
+    report.phases.push_back(s);
+  }
+  for (const auto& [edge, p] : by_edge) report.peers.push_back(p);
+  return report;
+}
+
+}  // namespace spmvm::obs

@@ -1,0 +1,98 @@
+// Per-iteration communication-phase attribution (DESIGN.md §11).
+//
+// The paper's scalability argument (Figs. 4/5) is about *where* an
+// iteration's time goes on every rank — gather, send posting, receive
+// wait, local kernel, non-local kernel — and how much of the
+// communication is hidden under compute. This module turns a recorded
+// multi-rank trace (dist/CommPlan phase spans + msg flow spans, see
+// obs/trace) into exactly that answer: per-rank phase totals, a
+// min/median/max table across ranks, an overlap-efficiency percentage,
+// and effective bytes/s per peer — so "which phase of which rank
+// stalled" is readable from one artifact instead of N disjoint logs.
+//
+// Attribution is derived purely from spans: it costs nothing while
+// tracing is off, and the phase sums are checked against the measured
+// iteration wall time in test_dist_trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace spmvm::obs {
+
+/// The comm-plan phases recognized by the attributor, in execution
+/// order. "post" covers start_sends, "wait" the receive waitall,
+/// "repost" the end-of-iteration receive re-arm.
+enum class CommPhase { gather, post, wait, local, nonlocal, repost };
+inline constexpr int kNumCommPhases = 6;
+const char* to_string(CommPhase p);
+
+/// One rank's totals over the traced window.
+struct RankPhases {
+  int rank = -1;
+  std::uint64_t iterations = 0;  // number of dist/plan_* spans
+  double wall_s = 0.0;           // sum of iteration span durations
+  double phase_s[kNumCommPhases] = {};
+  double phase_sum_s = 0.0;      // sum over phase_s
+  /// Time two or more phases ran concurrently (task-mode overlap):
+  /// max(0, phase_sum_s - wall_s).
+  double overlap_s = 0.0;
+  double overlap_pct() const {
+    return wall_s > 0.0 ? 100.0 * overlap_s / wall_s : 0.0;
+  }
+};
+
+/// Cross-rank spread of one phase (over per-rank totals).
+struct PhaseSpread {
+  CommPhase phase = CommPhase::gather;
+  double min_s = 0.0;
+  double median_s = 0.0;
+  double max_s = 0.0;
+  double total_s = 0.0;  // summed over ranks
+};
+
+/// Effective message bandwidth of one (sender rank → peer) edge,
+/// accumulated from msg/send spans.
+struct PeerRate {
+  int rank = -1;
+  int peer = -1;
+  std::uint64_t bytes = 0;
+  double seconds = 0.0;
+  std::uint64_t messages = 0;
+  double gbytes_per_s() const {
+    return seconds > 0.0 ? static_cast<double>(bytes) / seconds * 1e-9 : 0.0;
+  }
+};
+
+struct AttributionReport {
+  std::vector<RankPhases> ranks;    // ordered by rank
+  std::vector<PhaseSpread> phases;  // one row per phase, execution order
+  std::vector<PeerRate> peers;      // ordered by (rank, peer)
+
+  bool empty() const { return ranks.empty(); }
+  /// Aggregate overlap efficiency: hidden time / wall, summed over ranks.
+  double overlap_pct() const;
+
+  /// Human tables: per-phase min/median/max across ranks with overlap
+  /// efficiency per rank, plus the per-peer bandwidth table.
+  std::string render() const;
+
+  /// Flat counters for a bench.json entry ("gather_s" = median across
+  /// ranks per phase, "wall_s", "overlap_pct", "ranks", "iterations").
+  std::vector<std::pair<std::string, double>> counters() const;
+};
+
+/// Attribute a recorded trace window. Considers dist/plan_* iteration
+/// spans, the comm/plan_* + kernel/{local,nonlocal} phase spans, and
+/// msg/send spans; everything else (nested kernels, pool workers,
+/// solver spans) is ignored. Spans are grouped by their rank stamp
+/// (obs::set_rank); a window mixing plan iterations with unrelated
+/// traffic should be clipped by the caller (clear_trace before the
+/// loop).
+AttributionReport attribute_comm_phases(const std::vector<TraceEvent>& events);
+
+}  // namespace spmvm::obs

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <string_view>
 
+#include "obs/metrics.hpp"
+
 namespace spmvm::obs {
 
 namespace {
@@ -21,6 +23,7 @@ struct ThreadBuffer {
   std::vector<TraceEvent> events;
   std::uint32_t tid = 0;
   std::string name;
+  std::int32_t rank = -1;
 };
 
 struct Registry {
@@ -55,10 +58,25 @@ ThreadBuffer& thread_buffer() {
 }
 
 thread_local std::uint16_t t_depth = 0;
+thread_local std::int32_t t_rank = -1;
 
 std::chrono::steady_clock::time_point trace_epoch() {
   static const auto epoch = std::chrono::steady_clock::now();
   return epoch;
+}
+
+std::size_t env_trace_cap() {
+  const char* e = std::getenv("SPMVM_TRACE_CAP");
+  if (e == nullptr || *e == '\0') return std::size_t{1} << 20;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(e, &end, 10);
+  return (end != nullptr && *end == '\0') ? static_cast<std::size_t>(v)
+                                          : std::size_t{1} << 20;
+}
+
+std::atomic<std::size_t>& cap_value() {
+  static std::atomic<std::size_t> cap{env_trace_cap()};
+  return cap;
 }
 
 }  // namespace
@@ -78,6 +96,30 @@ void set_thread_name(const std::string& name) {
   ThreadBuffer& b = thread_buffer();
   std::lock_guard<std::mutex> lk(b.m);
   b.name = name;
+}
+
+void set_rank(int rank) {
+  t_rank = rank;
+  // Mirror into the registry (like set_thread_name) so trace_threads()
+  // reports the lane even for threads that recorded no spans yet.
+  ThreadBuffer& b = thread_buffer();
+  std::lock_guard<std::mutex> lk(b.m);
+  b.rank = rank;
+}
+
+int current_rank() { return t_rank; }
+
+std::uint64_t next_flow_id() {
+  static std::atomic<std::uint64_t> id{1};
+  return id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t trace_cap() {
+  return cap_value().load(std::memory_order_relaxed);
+}
+
+void set_trace_cap(std::size_t cap) {
+  cap_value().store(cap, std::memory_order_relaxed);
 }
 
 std::uint64_t now_ns() {
@@ -108,7 +150,7 @@ std::vector<TraceThread> trace_threads() {
   std::lock_guard<std::mutex> lk(r.m);
   for (const auto& b : r.buffers) {
     std::lock_guard<std::mutex> blk(b->m);
-    out.push_back({b->tid, b->name});
+    out.push_back({b->tid, b->name, b->rank});
   }
   std::sort(out.begin(), out.end(),
             [](const TraceThread& a, const TraceThread& b) {
@@ -131,6 +173,7 @@ SpanGuard::SpanGuard(const char* name, std::uint64_t bytes) {
   active_ = true;
   event_.name = name;
   event_.bytes = bytes;
+  event_.rank = t_rank;
   event_.depth = t_depth++;
   event_.t0_ns = now_ns();
 }
@@ -140,7 +183,16 @@ SpanGuard::~SpanGuard() {
   event_.t1_ns = now_ns();
   --t_depth;
   ThreadBuffer& b = thread_buffer();
+  const std::size_t cap = trace_cap();
   std::lock_guard<std::mutex> lk(b.m);
+  if (cap != 0 && b.events.size() >= cap) {
+    // Bounded buffers: long solver runs with tracing left on saturate
+    // at the cap instead of growing without limit. The loss is counted
+    // so an exported trace can flag itself as incomplete.
+    static Counter& c_dropped = counter("trace.dropped_spans");
+    c_dropped.add();
+    return;
+  }
   event_.tid = b.tid;
   b.events.push_back(event_);
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -62,6 +64,14 @@ std::string display_thread_name(const TraceThread& t) {
   return t.name.empty() ? "thread " + std::to_string(t.tid) : t.name;
 }
 
+/// Rank lane → Chrome pid: rank r gets pid r + 1 so the unranked
+/// process lane keeps pid 0 (single-process traces are unchanged).
+int rank_pid(std::int32_t rank) { return rank < 0 ? 0 : rank + 1; }
+
+std::string pid_lane_name(int pid) {
+  return pid == 0 ? "process" : "rank " + std::to_string(pid - 1);
+}
+
 /// Prometheus metric name: sanitized to [a-zA-Z0-9_:], "spmvm_" prefix.
 std::string prom_name(const std::string& name) {
   std::string out = "spmvm_";
@@ -71,6 +81,40 @@ std::string prom_name(const std::string& name) {
     out += ok ? c : '_';
   }
   return out;
+}
+
+/// Split "base{key=value,...}" into the sanitized base name and a
+/// rendered Prometheus label block (`{key="value",...}`, empty when the
+/// registry name carries no labels).
+struct PromParts {
+  std::string base;    // sanitized, "spmvm_" prefixed
+  std::string labels;  // "" or "{k=\"v\",...}"
+};
+PromParts prom_parts(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}')
+    return {prom_name(name), ""};
+  PromParts p;
+  p.base = prom_name(name.substr(0, brace));
+  std::string rendered = "{";
+  std::size_t at = brace + 1;
+  const std::size_t end = name.size() - 1;
+  while (at < end) {
+    std::size_t comma = name.find(',', at);
+    if (comma == std::string::npos || comma > end) comma = end;
+    const std::string pair = name.substr(at, comma - at);
+    const std::size_t eq = pair.find('=');
+    if (rendered.size() > 1) rendered += ",";
+    if (eq == std::string::npos) {
+      rendered += prom_name(pair).substr(6) + "=\"\"";
+    } else {
+      rendered += prom_name(pair.substr(0, eq)).substr(6) + "=\"" +
+                  json_escape(pair.substr(eq + 1)) + "\"";
+    }
+    at = comma + 1;
+  }
+  p.labels = rendered + "}";
+  return p;
 }
 
 std::string prom_value(double v) {
@@ -158,21 +202,49 @@ std::string ascii_trace(const std::vector<TraceEvent>& events,
 
 std::string chrome_trace_json(const std::vector<TraceEvent>& events,
                               const std::vector<TraceThread>& threads) {
+  // Lay out one pid lane per rank. A thread's lane comes from its
+  // registry rank (set_rank) and falls back to the rank its spans
+  // carry, so merged traces and live in-process captures agree.
+  std::map<std::uint32_t, int> tid_pid;
+  for (const auto& t : threads) tid_pid[t.tid] = rank_pid(t.rank);
+  std::set<int> pids;
+  for (const auto& e : events) {
+    const int pid = rank_pid(e.rank);
+    tid_pid.emplace(e.tid, pid);
+    pids.insert(pid);
+  }
+  for (const auto& t : threads) pids.insert(tid_pid[t.tid]);
+
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
-  for (const auto& t : threads) {
+  const auto sep = [&] {
     if (!first) os << ",";
     first = false;
-    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << t.tid
-       << ",\"args\":{\"name\":\"" << json_escape(display_thread_name(t))
-       << "\"}}";
+  };
+  if (pids.size() > 1 || (pids.size() == 1 && *pids.begin() != 0)) {
+    for (const int pid : pids) {
+      sep();
+      os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"name\":\"" << pid_lane_name(pid)
+         << "\"}}";
+      sep();
+      os << "{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"sort_index\":" << pid << "}}";
+    }
+  }
+  for (const auto& t : threads) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << tid_pid[t.tid]
+       << ",\"tid\":" << t.tid << ",\"args\":{\"name\":\""
+       << json_escape(display_thread_name(t)) << "\"}}";
   }
   for (const auto& e : events) {
-    if (!first) os << ",";
-    first = false;
+    const int pid = rank_pid(e.rank);
+    sep();
     os << "{\"ph\":\"X\",\"name\":\"" << json_escape(e.name ? e.name : "?")
-       << "\",\"pid\":0,\"tid\":" << e.tid << ",\"ts\":" << fmt_us(e.t0_ns)
+       << "\",\"pid\":" << pid << ",\"tid\":" << e.tid
+       << ",\"ts\":" << fmt_us(e.t0_ns)
        << ",\"dur\":" << fmt_us(e.t1_ns - e.t0_ns) << ",\"args\":{\"depth\":"
        << e.depth;
     if (e.bytes > 0) {
@@ -188,9 +260,81 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events,
       os << ",\"" << json_escape(e.arg_name[i])
          << "\":" << fmt_double(e.arg_value[i]);
     os << "}}";
+    if (e.flow != FlowDir::none && e.flow_id != 0) {
+      // Flow arrow endpoint bound to this slice: "s" starts the arrow
+      // at the send span, "f" (binding point "e" = enclosing slice)
+      // terminates it at the matching receive.
+      sep();
+      os << "{\"ph\":\"" << (e.flow == FlowDir::send ? "s" : "f") << "\"";
+      if (e.flow == FlowDir::recv) os << ",\"bp\":\"e\"";
+      os << ",\"cat\":\"msg\",\"name\":\"msg\",\"id\":" << e.flow_id
+         << ",\"pid\":" << pid << ",\"tid\":" << e.tid
+         << ",\"ts\":" << fmt_us(e.t0_ns) << "}";
+    }
   }
   os << "]}";
   return os.str();
+}
+
+MergedTrace merge_traces(const std::vector<RankTrace>& parts) {
+  MergedTrace out;
+  std::uint32_t next_tid = 0;
+  for (const auto& part : parts) {
+    // Remap this part's thread ids into one shared id space (separate
+    // processes number their threads independently).
+    std::map<std::uint32_t, std::uint32_t> remap;
+    for (const auto& t : part.threads) {
+      remap.emplace(t.tid, next_tid + static_cast<std::uint32_t>(remap.size()));
+    }
+    for (const auto& e : part.events) remap.emplace(e.tid, next_tid + static_cast<std::uint32_t>(remap.size()));
+    for (const auto& t : part.threads) {
+      TraceThread mt = t;
+      mt.tid = remap.at(t.tid);
+      mt.rank = part.rank;
+      out.threads.push_back(std::move(mt));
+    }
+    for (const auto& e : part.events) {
+      TraceEvent me = e;
+      me.tid = remap.at(e.tid);
+      me.rank = part.rank;
+      me.t0_ns += part.epoch_ns;
+      me.t1_ns += part.epoch_ns;
+      out.events.push_back(me);
+    }
+    next_tid += static_cast<std::uint32_t>(remap.size());
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t0_ns < b.t0_ns;
+                   });
+  std::stable_sort(out.threads.begin(), out.threads.end(),
+                   [](const TraceThread& a, const TraceThread& b) {
+                     return a.tid < b.tid;
+                   });
+  return out;
+}
+
+std::vector<RankTrace> split_trace_by_rank(
+    const std::vector<TraceEvent>& events,
+    const std::vector<TraceThread>& threads) {
+  std::map<int, RankTrace> parts;
+  const auto part_for = [&](int rank) -> RankTrace& {
+    RankTrace& p = parts[rank];
+    p.rank = rank;
+    return p;
+  };
+  // A thread belongs to its registry lane; a thread only known through
+  // its events (e.g. exited before being named) follows its spans.
+  std::map<std::uint32_t, int> tid_rank;
+  for (const auto& t : threads) tid_rank[t.tid] = t.rank;
+  for (const auto& e : events) tid_rank.emplace(e.tid, e.rank);
+  for (const auto& t : threads) part_for(tid_rank[t.tid]).threads.push_back(t);
+  for (const auto& e : events)
+    part_for(tid_rank[e.tid]).events.push_back(e);
+  std::vector<RankTrace> out;
+  out.reserve(parts.size());
+  for (auto& [rank, part] : parts) out.push_back(std::move(part));
+  return out;
 }
 
 std::string chrome_trace_json() {
@@ -206,16 +350,26 @@ bool write_chrome_trace(const std::string& path) {
 
 std::string prometheus_text(const std::vector<MetricSample>& samples) {
   std::ostringstream os;
+  // One "# TYPE" header per metric base name: labeled samples of the
+  // same base (comm.bytes_sent{peer=0}, {peer=1}, ...) are adjacent in
+  // the sorted snapshot and share their header.
+  std::string last_typed;
+  const auto type_header = [&](const std::string& base, const char* kind) {
+    if (base == last_typed) return;
+    last_typed = base;
+    os << "# TYPE " << base << " " << kind << "\n";
+  };
   for (const auto& s : samples) {
-    const std::string name = prom_name(s.name);
+    const PromParts p = prom_parts(s.name);
+    const std::string sample_name = p.base + p.labels;
     switch (s.kind) {
       case MetricKind::counter:
-        os << "# TYPE " << name << " counter\n"
-           << name << " " << prom_value(s.value) << "\n";
+        type_header(p.base, "counter");
+        os << sample_name << " " << prom_value(s.value) << "\n";
         break;
       case MetricKind::gauge:
-        os << "# TYPE " << name << " gauge\n"
-           << name << " " << prom_value(s.value) << "\n";
+        type_header(p.base, "gauge");
+        os << sample_name << " " << prom_value(s.value) << "\n";
         break;
       case MetricKind::histogram: {
         // Exposed as a summary: _count/_sum plus min/max gauges (the
@@ -224,13 +378,16 @@ std::string prometheus_text(const std::vector<MetricSample>& samples) {
         const auto& bins = s.hist.bins();
         for (std::size_t v = 0; v < bins.size(); ++v)
           sum += static_cast<double>(v) * static_cast<double>(bins[v]);
-        os << "# TYPE " << name << " summary\n"
-           << name << "_count " << prom_value(s.value) << "\n"
-           << name << "_sum " << prom_value(sum) << "\n";
-        os << "# TYPE " << name << "_min gauge\n"
-           << name << "_min " << s.hist.min_value() << "\n";
-        os << "# TYPE " << name << "_max gauge\n"
-           << name << "_max " << s.hist.max_value() << "\n";
+        type_header(p.base, "summary");
+        os << p.base << "_count" << p.labels << " " << prom_value(s.value)
+           << "\n"
+           << p.base << "_sum" << p.labels << " " << prom_value(sum) << "\n";
+        type_header(p.base + "_min", "gauge");
+        os << p.base << "_min" << p.labels << " " << s.hist.min_value()
+           << "\n";
+        type_header(p.base + "_max", "gauge");
+        os << p.base << "_max" << p.labels << " " << s.hist.max_value()
+           << "\n";
         break;
       }
     }

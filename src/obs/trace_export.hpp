@@ -46,12 +46,51 @@ std::string ascii_trace(const std::vector<TraceEvent>& events,
                         const std::vector<TraceThread>& threads,
                         int width = 72, std::uint16_t max_depth = 0);
 
+// ---- multi-rank trace merging ---------------------------------------------
+
+/// One rank's recorded trace, ready for merging. `epoch_ns` is the
+/// offset of this rank's trace epoch on the shared clock: merge shifts
+/// every timestamp by it, so traces captured by separate processes with
+/// independent epochs line up on one axis (the in-process msg runtime
+/// shares a single epoch, so its parts use 0).
+struct RankTrace {
+  int rank = -1;  // -1 = the unranked process lane
+  std::uint64_t epoch_ns = 0;
+  std::vector<TraceEvent> events;
+  std::vector<TraceThread> threads;
+};
+
+/// A merged multi-rank trace: events rebased onto the shared epoch and
+/// stamped with their part's rank, thread ids remapped to be unique
+/// across parts, events ordered by start time.
+struct MergedTrace {
+  std::vector<TraceEvent> events;
+  std::vector<TraceThread> threads;
+};
+
+/// Merge per-rank traces into one timeline (see RankTrace). Exporting
+/// the result draws one pid lane per rank with send→recv flow arrows
+/// between the lanes.
+MergedTrace merge_traces(const std::vector<RankTrace>& parts);
+
+/// Split an in-process trace (ranks stamped by obs::set_rank) into
+/// per-rank parts: one part per rank lane present, plus a rank == -1
+/// part when unranked spans or named rankless threads exist. The
+/// inverse of merge_traces for single-process multi-rank runs.
+std::vector<RankTrace> split_trace_by_rank(
+    const std::vector<TraceEvent>& events,
+    const std::vector<TraceThread>& threads);
+
 // ---- Chrome trace JSON ----------------------------------------------------
 
-/// Serialize spans as Chrome trace "X" (complete) events plus thread
-/// name metadata. Timestamps are microseconds since the trace epoch;
-/// bytes and numeric attributes appear under "args" (with a derived
-/// "GB/s" when a span carries bytes).
+/// Serialize spans as Chrome trace "X" (complete) events plus process/
+/// thread name metadata. Timestamps are microseconds since the trace
+/// epoch; bytes and numeric attributes appear under "args" (with a
+/// derived "GB/s" when a span carries bytes). Rank-stamped spans land
+/// in their own pid lane (pid = rank + 1, named "rank N"; unranked
+/// spans stay in pid 0), and spans carrying flow ids additionally emit
+/// Chrome flow events ("s"/"f") so matched send→recv pairs render as
+/// arrows across rank lanes.
 std::string chrome_trace_json(const std::vector<TraceEvent>& events,
                               const std::vector<TraceThread>& threads);
 
@@ -65,7 +104,11 @@ bool write_chrome_trace(const std::string& path);
 
 /// Prometheus exposition text: "# TYPE" comment plus sample line(s) per
 /// metric. Names are sanitized to [a-zA-Z0-9_:] and prefixed "spmvm_".
-/// Histograms emit _count/_sum/_min/_max samples.
+/// Histograms emit _count/_sum/_min/_max samples. A metric name of the
+/// form "base{key=value,...}" renders with Prometheus label syntax —
+/// `spmvm_base{key="value"}` — and consecutive samples of one base
+/// share a single "# TYPE" header (the per-peer comm counters
+/// `comm.bytes_sent{peer=N}` rely on this).
 std::string prometheus_text(const std::vector<MetricSample>& samples);
 
 /// Snapshot the metrics registry and serialize it.

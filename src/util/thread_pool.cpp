@@ -35,6 +35,7 @@ struct ThreadPool::State {
   int n_parts = 0;
   std::atomic<int> next_part{0};
   int completed = 0;
+  int running = 0;  // workers between cv-wakeup and re-park
   std::exception_ptr first_error;
   bool stop = false;
 
@@ -71,6 +72,7 @@ struct ThreadPool::State {
       auto* fn = invoke;
       auto* c = ctx;
       const int n = n_parts;
+      ++running;
       lk.unlock();
       {
         // One span per broadcast received: the worker's busy interval.
@@ -78,6 +80,7 @@ struct ThreadPool::State {
         execute_parts(fn, c, n);
       }
       lk.lock();
+      if (--running == 0) done_cv.notify_all();
     }
   }
 };
@@ -122,7 +125,7 @@ void ThreadPool::run_impl(int n_parts, void (*invoke)(void*, int), void* ctx) {
   c_tasks.add();
   const int wanted = std::min(n_parts - 1, kMaxPoolWorkers);
   {
-    std::lock_guard<std::mutex> lk(s_->m);
+    std::unique_lock<std::mutex> lk(s_->m);
     while (static_cast<int>(s_->workers.size()) < wanted) {
       const int worker_idx = static_cast<int>(s_->workers.size());
       s_->workers.emplace_back([this, worker_idx] {
@@ -131,6 +134,12 @@ void ThreadPool::run_impl(int n_parts, void (*invoke)(void*, int), void* ctx) {
       });
     }
     g_workers.set(static_cast<double>(s_->workers.size()));
+    // A worker from the previous generation may still sit between its
+    // cv-wakeup and its next part claim, holding the previous task's
+    // fn/ctx. Resetting next_part under it would hand it a part of
+    // *this* generation to run with the dead closure — wait until every
+    // worker is parked again before re-arming the claim counter.
+    s_->done_cv.wait(lk, [&] { return s_->running == 0; });
     s_->invoke = invoke;
     s_->ctx = ctx;
     s_->n_parts = n_parts;

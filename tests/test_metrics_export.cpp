@@ -159,6 +159,33 @@ TEST(PrometheusExport, FormatsCounterGaugeHistogram) {
   }
 }
 
+TEST(PrometheusExport, LabeledCountersUseLabelSyntax) {
+  std::vector<obs::MetricSample> samples;
+  samples.push_back(
+      {"comm.bytes_sent{peer=0}", obs::MetricKind::counter, 128.0, {}});
+  samples.push_back(
+      {"comm.bytes_sent{peer=1}", obs::MetricKind::counter, 256.0, {}});
+  samples.push_back(
+      {"comm.bytes_recv{peer=0}", obs::MetricKind::counter, 64.0, {}});
+
+  const std::string text = obs::prometheus_text(samples);
+  EXPECT_NE(text.find("spmvm_comm_bytes_sent{peer=\"0\"} 128\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("spmvm_comm_bytes_sent{peer=\"1\"} 256\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spmvm_comm_bytes_recv{peer=\"0\"} 64\n"),
+            std::string::npos);
+  // One TYPE header per base name, not one per labeled sample.
+  std::size_t type_headers = 0, at = 0;
+  const std::string needle = "# TYPE spmvm_comm_bytes_sent counter\n";
+  while ((at = text.find(needle, at)) != std::string::npos) {
+    ++type_headers;
+    at += needle.size();
+  }
+  EXPECT_EQ(type_headers, 1u);
+}
+
 TEST(PrometheusExport, LiveRegistrySnapshotSerializes) {
   obs::counter("test.prom_live").add(1);
   const std::string text = obs::prometheus_text();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dist/timeline.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 
@@ -116,6 +117,27 @@ TEST(Trace, DepthUnwindsAfterGuardsClose) {
     SPMVM_TRACE_SPAN("test/second");
   }
   for (const auto& e : obs::collect()) EXPECT_EQ(e.depth, 0);
+}
+
+TEST(Trace, CapBoundsPerThreadBufferAndCountsDrops) {
+  ScopedTracing on(true);
+  const std::size_t prev_cap = obs::trace_cap();
+  obs::set_trace_cap(16);
+  const std::uint64_t dropped0 =
+      obs::counter("trace.dropped_spans").value();
+  // Record on a fresh thread: its buffer starts empty, so exactly `cap`
+  // spans land and the rest are counted as dropped.
+  std::thread([] {
+    for (int i = 0; i < 100; ++i) {
+      SPMVM_TRACE_SPAN("test/capped");
+    }
+  }).join();
+  obs::set_trace_cap(prev_cap);
+  std::size_t capped = 0;
+  for (const auto& e : obs::collect())
+    if (std::string(e.name) == "test/capped") ++capped;
+  EXPECT_EQ(capped, 16u);
+  EXPECT_EQ(obs::counter("trace.dropped_spans").value() - dropped0, 84u);
 }
 
 TEST(Trace, SpanArgsAreAttached) {
