@@ -2,15 +2,32 @@
 // relative share, log y) of the DLR1, DLR2, HMEp and sAMG stand-ins,
 // with the paper's N / Nnz / distribution-shape annotations.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "matgen/suite.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "sparse/matrix_stats.hpp"
 #include "util/ascii.hpp"
 
 using namespace spmvm;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path, err;
+  if (!obs::consume_json_flag(&argc, argv, &json_path, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+    return 1;
+  }
+  obs::BenchReport report;
+  report.binary = "bench_fig3_histograms";
+  report.metadata = obs::machine_fingerprint();
+
   std::printf("Fig. 3: row length distribution histograms (relative share, "
               "log scale)\n\n");
   struct Item {
@@ -36,13 +53,30 @@ int main() {
                 ascii_chart("  relative share vs non-zeros per row", x,
                             {share}, {"share"}, /*log_y=*/true, 12, 64)
                     .c_str());
+    const double share_near_max =
+        100.0 * h.share_at_least(static_cast<index_t>(0.8 * s.max_row_len));
     std::printf("  share of rows at >= 0.8*max length: %.1f%%\n",
-                100.0 * h.share_at_least(
-                            static_cast<index_t>(0.8 * s.max_row_len)));
+                share_near_max);
     std::printf("  max/min row length: %.2f\n\n", s.relative_width);
+    report.entries.push_back(obs::summarize_samples(
+        std::string("fig3/") + name, {},
+        {{"n_rows", static_cast<double>(s.n_rows)},
+         {"nnzr", s.avg_row_len},
+         {"max_row_len", static_cast<double>(s.max_row_len)},
+         {"share_near_max_pct", share_near_max},
+         {"relative_width", s.relative_width}}));
   }
   std::printf("paper shapes to check: DLR1 narrow with ~80%% of weight near "
               "the maximum;\nsAMG max > 4x min with short rows dominating; "
               "DLR2 widest absolute range;\nHMEp compact around Nnzr ~ 15.\n");
+
+  if (!json_path.empty() && !report.write(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  // SPMVM_TRACE=1 records the matrix-generation spans; flush them.
+  if (obs::tracing_enabled() &&
+      obs::write_chrome_trace("bench_fig3_trace.json"))
+    std::printf("\ntrace written to bench_fig3_trace.json\n");
   return 0;
 }

@@ -12,6 +12,7 @@
 //   bench_suite --compare BENCH_0.json        # run + gate against baseline
 //   bench_suite --compare-files a.json b.json # gate two existing reports
 //   bench_suite --smoke ...                   # CI-sized matrices and reps
+//   bench_suite --roofline roofline.json      # + model-anchored efficiency
 //
 // Exit codes: 0 pass, 1 regression (or schema mismatch), 2 usage/IO.
 #include <cstdio>
@@ -20,6 +21,7 @@
 #include <fstream>
 #include <string>
 
+#include "obs/ledger.hpp"
 #include "obs/regress.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -38,7 +40,7 @@ void print_usage(const char* argv0) {
       "usage: %s [--smoke] [--filter <substr>] [--json <path>]\n"
       "          [--compare <baseline.json>] [--compare-files <a> <b>]\n"
       "          [--rel-tol <frac>] [--stddev-k <k>] [--gate <substr>]\n"
-      "          [--trace <out.json>] [--list]\n"
+      "          [--trace <out.json>] [--roofline <out.json>] [--list]\n"
       "env: SPMVM_BENCH_REPS, SPMVM_BENCH_MIN_SECONDS, SPMVM_BENCH_SCALE,\n"
       "     SPMVM_BENCH_THREADS, SPMVM_BENCH_REL_TOL, SPMVM_BENCH_STDDEV_K\n",
       argv0);
@@ -85,6 +87,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string baseline_path;
   std::string trace_path;
+  std::string roofline_path;
   std::string cmp_a, cmp_b;
   obs::RegressOptions opt;
   opt.rel_tol = env_or("SPMVM_BENCH_REL_TOL", opt.rel_tol);
@@ -133,6 +136,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(a, "--trace") == 0) {
       if ((v = value_of(i, a)) == nullptr) return 2;
       trace_path = v;
+    } else if (std::strcmp(a, "--roofline") == 0) {
+      if ((v = value_of(i, a)) == nullptr) return 2;
+      roofline_path = v;
     } else {
       print_usage(argv[0]);
       return 2;
@@ -160,8 +166,22 @@ int main(int argc, char** argv) {
                 cfg.smoke ? "smoke" : "full", cfg.min_reps, cfg.min_seconds,
                 cfg.host_scale, cfg.threads);
     if (!trace_path.empty()) obs::set_tracing(true);
+    if (!roofline_path.empty()) obs::set_ledger_enabled(true);
     const obs::BenchReport report = suite::run_suite(cfg, filter);
     print_report(report);
+
+    if (!roofline_path.empty()) {
+      // Efficiency ledger across the whole run: every instrumented
+      // kernel/transfer/exchange versus its Eq. 1 / link-bandwidth roof.
+      std::printf("%s\n", obs::roofline_table().c_str());
+      std::ofstream out(roofline_path);
+      out << obs::roofline_json();
+      if (!out) {
+        std::fprintf(stderr, "failed to write %s\n", roofline_path.c_str());
+        return 2;
+      }
+      std::printf("roofline ledger written to %s\n", roofline_path.c_str());
+    }
 
     if (!json_path.empty() && !report.write(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

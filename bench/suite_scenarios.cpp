@@ -452,10 +452,11 @@ obs::BenchReport run_suite(const SuiteConfig& cfg, const std::string& filter) {
     if (!filter.empty() &&
         std::string_view(s.name).find(filter) == std::string_view::npos)
       continue;
-    // Every scenario starts from zeroed counters/histograms so the
-    // deltas it reports cannot bleed in traffic from earlier scenarios
-    // (gauges keep their last value by design).
-    obs::reset_metrics();
+    // Every scenario starts from a fully zeroed registry — including
+    // gauges, which reset_metrics() deliberately keeps: scenarios are
+    // *different* workloads, so a gauge left over from the previous one
+    // (e.g. comm.gather_seconds) would masquerade as this scenario's.
+    obs::reset_all();
     s.run(cfg, report);
   }
   record_deviation_table(report);

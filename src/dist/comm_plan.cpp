@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <utility>
 
+#include "dist/cluster_model.hpp"
 #include "dist/spmv_apply.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -29,6 +31,27 @@ const char* plan_span_name(CommScheme scheme) {
       return "dist/plan_task";
   }
   return "dist/plan";
+}
+
+const char* scheme_slug(CommScheme scheme) {
+  switch (scheme) {
+    case CommScheme::vector_mode:
+      return "vector_mode";
+    case CommScheme::naive_overlap:
+      return "naive_overlap";
+    case CommScheme::task_mode:
+      return "task_mode";
+  }
+  return "?";
+}
+
+/// Net-lane work descriptor for `bytes` of halo traffic over the
+/// ClusterSpec interconnect (Eq. 3's T_comm without the latency term —
+/// the latency share is exactly what the efficiency column loses).
+obs::WorkDesc net_work(std::uint64_t bytes) {
+  obs::WorkDesc w;
+  w.bytes = bytes;
+  return w;
 }
 
 }  // namespace
@@ -125,6 +148,14 @@ template <class T>
 void CommPlan<T>::local_gather(std::span<const T> x) {
   SPMVM_TRACE_SPAN("comm/plan_gather",
                    static_cast<std::uint64_t>(send_flat_.size()) * sizeof(T));
+  obs::LedgerScope led(obs::RoofLane::host, scheme_slug(scheme_), "gather");
+  if (led.active()) {
+    // The gather streams the indexed reads plus the packed writes.
+    obs::WorkDesc w;
+    w.bytes = static_cast<std::uint64_t>(send_flat_.size()) *
+              (sizeof(T) + sizeof(index_t) + sizeof(T));
+    led.set_work(w);
+  }
   static obs::Counter& c_ns = obs::counter("comm.gather_ns");
   static obs::Gauge& g_s = obs::gauge("comm.gather_seconds");
   const auto t0 = std::chrono::steady_clock::now();
@@ -154,6 +185,10 @@ template <class T>
 void CommPlan<T>::start_sends() {
   SPMVM_TRACE_SPAN("comm/plan_sends",
                    static_cast<std::uint64_t>(sendbuf_.size()) * sizeof(T));
+  obs::LedgerScope led(obs::RoofLane::net, scheme_slug(scheme_), "sends");
+  if (led.active())
+    led.set_work(
+        net_work(static_cast<std::uint64_t>(sendbuf_.size()) * sizeof(T)));
   comm_.startall(send_reqs_);
   comm_.waitall(send_reqs_);  // buffered sends complete at start; re-arm
 }
@@ -162,6 +197,10 @@ template <class T>
 void CommPlan<T>::wait_receives() {
   SPMVM_TRACE_SPAN("comm/plan_waitall",
                    static_cast<std::uint64_t>(d_.n_halo) * sizeof(T));
+  obs::LedgerScope led(obs::RoofLane::net, scheme_slug(scheme_), "wait");
+  if (led.active())
+    led.set_work(
+        net_work(static_cast<std::uint64_t>(d_.n_halo) * sizeof(T)));
   comm_.waitall(recv_reqs_);
 }
 

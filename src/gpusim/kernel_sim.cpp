@@ -7,8 +7,10 @@
 
 #include "gpusim/coalescing.hpp"
 #include "gpusim/l2_cache.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "perfmodel/balance.hpp"
 #include "util/error.hpp"
 
 namespace spmvm::gpusim {
@@ -124,17 +126,42 @@ class Engine {
 
 /// Per-simulation bookkeeping: the span carries the model-predicted DRAM
 /// transactions (bytes), measured balance alpha and predicted runtime, so
-/// a trace of the simulator reads like Table II.
+/// a trace of the simulator reads like Table II. When the roofline
+/// ledger is on, the simulated run also folds into a device-lane record
+/// judged against the Eq. 1 bound at *measured* α (perfmodel/balance,
+/// the same prediction perfmodel::evaluate reports as gflops_model), so
+/// the ledger's efficiency is exactly gflops_sim / gflops_model.
 void record_sim(obs::SpanGuard& span, const KernelResult& r,
-                std::size_t scalar_size) {
+                std::size_t scalar_size, const char* format,
+                const DeviceSpec& dev, bool ecc, index_t n_rows) {
   static obs::Counter& c_sims = obs::counter("gpusim.kernels");
   static obs::Counter& c_bytes = obs::counter("gpusim.dram_bytes");
   c_sims.add();
   c_bytes.add(r.stats.dram_bytes());
-  if (!span.active()) return;
-  span.set_bytes(r.stats.dram_bytes());
-  span.set_arg("alpha", r.stats.measured_alpha(scalar_size));
-  span.set_arg("pred_us", r.seconds * 1e6);
+  const double alpha = r.stats.measured_alpha(scalar_size);
+  if (span.active()) {
+    span.set_bytes(r.stats.dram_bytes());
+    span.set_arg("alpha", alpha);
+    span.set_arg("pred_us", r.seconds * 1e6);
+  }
+  if (obs::ledger_enabled()) {
+    const std::uint64_t nnz = r.stats.flops / 2;
+    obs::WorkDesc w;
+    w.bytes = r.stats.dram_bytes();
+    w.flops = r.stats.flops;
+    w.nnz = nnz;
+    w.alpha = alpha;
+    if (n_rows > 0 && nnz > 0) {
+      const double nnzr =
+          static_cast<double>(nnz) / static_cast<double>(n_rows);
+      const double gflops_model = perfmodel::bandwidth_bound_gflops(
+          dev.bandwidth_bytes(ecc) / 1e9,
+          perfmodel::code_balance(scalar_size, alpha, nnzr));
+      w.predicted_seconds =
+          static_cast<double>(r.stats.flops) / (gflops_model * 1e9);
+    }
+    obs::ledger_record(obs::RoofLane::device, format, "spmv", r.seconds, w);
+  }
 }
 
 }  // namespace
@@ -191,7 +218,9 @@ KernelResult simulate(const DeviceSpec& dev, const Ellpack<T>& m,
   if (kernel == EllpackKernel::r)
     eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(index_t));
   const KernelResult res = eng.finalize();
-  record_sim(span, res, sizeof(T));
+  record_sim(span, res, sizeof(T),
+             kernel == EllpackKernel::plain ? "ellpack" : "ellpack_r", dev,
+             opt.ecc, m.n_rows);
   return res;
 }
 
@@ -237,7 +266,7 @@ KernelResult simulate(const DeviceSpec& dev, const Pjds<T>& m,
   if (dev.l2_bytes == 0 && !opt.col_start_in_texture)
     eng.stream(eng.stats().warp_steps * 32);
   const KernelResult res = eng.finalize();
-  record_sim(span, res, sizeof(T));
+  record_sim(span, res, sizeof(T), "pjds", dev, opt.ecc, m.n_rows);
   return res;
 }
 
@@ -280,7 +309,7 @@ KernelResult simulate(const DeviceSpec& dev, const SlicedEll<T>& m,
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(T));
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(index_t));
   const KernelResult res = eng.finalize();
-  record_sim(span, res, sizeof(T));
+  record_sim(span, res, sizeof(T), "sell", dev, opt.ecc, m.n_rows);
   return res;
 }
 
@@ -321,7 +350,7 @@ KernelResult simulate_csr_scalar(const DeviceSpec& dev, const Csr<T>& m,
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(T));
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(offset_t));
   const KernelResult res = eng.finalize();
-  record_sim(span, res, sizeof(T));
+  record_sim(span, res, sizeof(T), "csr_scalar", dev, opt.ecc, m.n_rows);
   return res;
 }
 
@@ -363,7 +392,7 @@ KernelResult simulate_csr_vector(const DeviceSpec& dev, const Csr<T>& m,
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(T));
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(offset_t));
   const KernelResult res = eng.finalize();
-  record_sim(span, res, sizeof(T));
+  record_sim(span, res, sizeof(T), "csr_vector", dev, opt.ecc, m.n_rows);
   return res;
 }
 
@@ -421,7 +450,7 @@ KernelResult simulate_ellr_t(const DeviceSpec& dev, const Ellpack<T>& m,
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(T));
   eng.stream(static_cast<std::uint64_t>(m.n_rows) * sizeof(index_t));
   const KernelResult res = eng.finalize();
-  record_sim(span, res, sizeof(T));
+  record_sim(span, res, sizeof(T), "ellr_t", dev, opt.ecc, m.n_rows);
   return res;
 }
 

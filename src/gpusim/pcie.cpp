@@ -1,5 +1,6 @@
 #include "gpusim/pcie.hpp"
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -26,6 +27,17 @@ SpmvTimings with_pcie_transfers(const DeviceSpec& dev, const KernelResult& k,
   t.gflops_kernel = flops / t.kernel_seconds / 1e9;
   t.gflops_total = flops / t.total_seconds / 1e9;
   span.set_arg("pred_pcie_us", t.pcie_seconds * 1e6);
+  if (obs::ledger_enabled()) {
+    // PCIe-lane record: the transfer against the raw link bandwidth —
+    // the efficiency shortfall is exactly the latency share of the two
+    // transfers (Sec. IV-B's small-transfer regime).
+    obs::WorkDesc w;
+    w.bytes = up + down;
+    w.predicted_seconds =
+        static_cast<double>(up + down) / (dev.pcie_gbs * 1e9);
+    obs::ledger_record(obs::RoofLane::pcie, "vector", "transfer",
+                       t.pcie_seconds, w);
+  }
   return t;
 }
 

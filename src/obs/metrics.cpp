@@ -15,6 +15,7 @@ struct MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Gauge>> gauges;
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms;
+  std::map<std::string, std::string> help;
 };
 
 MetricsRegistry& metrics_registry() {
@@ -77,6 +78,33 @@ void reset_metrics() {
   std::lock_guard<std::mutex> lk(r.m);
   for (const auto& [name, c] : r.counters) c->reset();
   for (const auto& [name, h] : r.histograms) h->reset();
+}
+
+void reset_all() {
+  MetricsRegistry& r = metrics_registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  for (const auto& [name, c] : r.counters) c->reset();
+  for (const auto& [name, h] : r.histograms) h->reset();
+  for (const auto& [name, g] : r.gauges) g->reset();
+}
+
+void set_metric_help(const std::string& name, const std::string& help) {
+  MetricsRegistry& r = metrics_registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  r.help[name] = help;
+}
+
+std::string metric_help(const std::string& name) {
+  MetricsRegistry& r = metrics_registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  auto it = r.help.find(name);
+  if (it != r.help.end()) return it->second;
+  const auto brace = name.find('{');
+  if (brace != std::string::npos) {
+    it = r.help.find(name.substr(0, brace));
+    if (it != r.help.end()) return it->second;
+  }
+  return {};
 }
 
 }  // namespace spmvm::obs

@@ -37,6 +37,7 @@ class Gauge {
  public:
   void set(double v) { v_.store(v, std::memory_order_relaxed); }
   double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> v_{0.0};
@@ -71,6 +72,15 @@ Counter& counter(const std::string& name);
 Gauge& gauge(const std::string& name);
 HistogramMetric& histogram(const std::string& name);
 
+/// Attach a human-readable description to a metric name. Exporters emit
+/// it as a `# HELP` line. For labeled metrics ("base{key=value}") register
+/// the help under the bare base name — it applies to every label set.
+void set_metric_help(const std::string& name, const std::string& help);
+
+/// Help text for `name`, falling back to the base name before '{' for
+/// labeled metrics. Empty when none was registered.
+std::string metric_help(const std::string& name);
+
 enum class MetricKind { counter, gauge, histogram };
 
 struct MetricSample {
@@ -84,6 +94,14 @@ struct MetricSample {
 std::vector<MetricSample> metrics_snapshot();
 
 /// Zero every counter and histogram (gauges keep their last value).
+/// Use between repetitions of the *same* workload, where a gauge such as
+/// a device clock or thread count is still meaningful afterwards.
 void reset_metrics();
+
+/// Zero every counter, histogram AND gauge. Use between *different*
+/// workloads (e.g. bench_suite scenarios): a gauge left over from the
+/// previous scenario would otherwise leak into the next snapshot and be
+/// exported as if the new workload had produced it.
+void reset_all();
 
 }  // namespace spmvm::obs

@@ -1,0 +1,54 @@
+#include "obs/roofline.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace spmvm::obs {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0' && parsed > 0.0) ? parsed : fallback;
+}
+
+}  // namespace
+
+const char* to_string(RoofLane lane) {
+  switch (lane) {
+    case RoofLane::host: return "host";
+    case RoofLane::device: return "device";
+    case RoofLane::pcie: return "pcie";
+    case RoofLane::net: return "net";
+  }
+  return "?";
+}
+
+RooflineSpec RooflineSpec::from_env() {
+  RooflineSpec s;
+  s.bw_gbs[0] = env_double("SPMVM_HOST_BW_GBS", s.bw_gbs[0]);
+  s.bw_gbs[1] = env_double("SPMVM_DEVICE_BW_GBS", s.bw_gbs[1]);
+  s.bw_gbs[2] = env_double("SPMVM_PCIE_BW_GBS", s.bw_gbs[2]);
+  s.bw_gbs[3] = env_double("SPMVM_NET_BW_GBS", s.bw_gbs[3]);
+  s.peak_gflops[0] =
+      env_double("SPMVM_HOST_PEAK_GFLOPS", s.peak_gflops[0]);
+  return s;
+}
+
+double predicted_seconds(const RooflineSpec& spec, RoofLane lane,
+                         const WorkDesc& w) {
+  if (w.predicted_seconds > 0.0) return w.predicted_seconds;
+  const int i = static_cast<int>(lane);
+  double t = 0.0;
+  if (w.bytes > 0 && spec.bw_gbs[i] > 0.0)
+    t = static_cast<double>(w.bytes) / (spec.bw_gbs[i] * 1e9);
+  if (w.flops > 0 && spec.peak_gflops[i] > 0.0)
+    t = std::max(t, static_cast<double>(w.flops) /
+                        (spec.peak_gflops[i] * 1e9));
+  return t;
+}
+
+}  // namespace spmvm::obs

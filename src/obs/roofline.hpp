@@ -1,0 +1,59 @@
+// Roofline work descriptors: the vocabulary shared by the efficiency
+// ledger (obs/ledger) and every instrumented site.
+//
+// A WorkDesc states what a measured span *should* have cost under the
+// paper's bandwidth model: bytes moved per the format's stored footprint
+// (Eq. 1 accounting, see perfmodel/balance.hpp), flops, nnz and the RHS
+// re-load factor α. Sites that know a better prediction than the generic
+// lane roof — the GPU simulator evaluates Eq. 1 at *measured* α — set
+// predicted_seconds directly; everyone else leaves it 0 and the ledger
+// derives the lower bound from the lane's RooflineSpec roof.
+#pragma once
+
+#include <cstdint>
+
+namespace spmvm::obs {
+
+/// Hardware lane a measured span ran on. Each lane has its own
+/// bandwidth roof: host DRAM, simulated device DRAM, the PCIe link, and
+/// the cluster interconnect (ClusterSpec limits).
+enum class RoofLane : std::uint8_t { host = 0, device = 1, pcie = 2, net = 3 };
+
+inline constexpr int kNumRoofLanes = 4;
+
+const char* to_string(RoofLane lane);
+
+/// Per-lane bandwidth and compute roofs, in GB/s and GF/s. Defaults
+/// follow the paper's testbeds — a Westmere-class host socket, the
+/// C2070's ECC-on DRAM bandwidth, its PCIe gen2 link, and Dirac's QDR
+/// InfiniBand (dist/ClusterSpec::dirac) — and every roof can be
+/// overridden per run via SPMVM_{HOST,DEVICE,PCIE,NET}_BW_GBS plus
+/// SPMVM_HOST_PEAK_GFLOPS (see from_env). peak_gflops 0 = unbounded
+/// (purely bandwidth-limited lane).
+struct RooflineSpec {
+  double bw_gbs[kNumRoofLanes] = {20.0, 91.0, 6.0, 3.2};
+  double peak_gflops[kNumRoofLanes] = {0.0, 0.0, 0.0, 0.0};
+
+  /// Defaults with environment overrides applied.
+  static RooflineSpec from_env();
+};
+
+/// Work one measured span performed, in model terms.
+struct WorkDesc {
+  std::uint64_t bytes = 0;  // data streamed (format footprint + vectors)
+  std::uint64_t flops = 0;  // 2·nnz for spMVM
+  std::uint64_t nnz = 0;    // non-zeros processed (0 for pure transfers)
+  double alpha = 0.0;       // RHS re-load factor; 0 = not applicable
+  /// Model lower bound for this span in seconds. 0 lets the ledger
+  /// derive max(bytes/bw, flops/peak) from the lane's roofs; the GPU
+  /// simulator sets the Eq. 1 prediction at measured α here.
+  double predicted_seconds = 0.0;
+};
+
+/// Model lower-bound seconds for `w` on `lane`: the explicit
+/// predicted_seconds when set, else the lane-roof bound. 0 when the
+/// descriptor carries no work (no bytes, no flops).
+double predicted_seconds(const RooflineSpec& spec, RoofLane lane,
+                         const WorkDesc& w);
+
+}  // namespace spmvm::obs

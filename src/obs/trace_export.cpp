@@ -72,6 +72,45 @@ std::string pid_lane_name(int pid) {
   return pid == 0 ? "process" : "rank " + std::to_string(pid - 1);
 }
 
+/// Prometheus label-value escaping per the text exposition format:
+/// exactly backslash, double-quote and line feed are escaped — unlike
+/// JSON, tabs and other control bytes pass through verbatim.
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// HELP-line escaping: only backslash and line feed (quotes are legal).
+std::string prom_help_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+  return out;
+}
+
 /// Prometheus metric name: sanitized to [a-zA-Z0-9_:], "spmvm_" prefix.
 std::string prom_name(const std::string& name) {
   std::string out = "spmvm_";
@@ -109,12 +148,33 @@ PromParts prom_parts(const std::string& name) {
       rendered += prom_name(pair).substr(6) + "=\"\"";
     } else {
       rendered += prom_name(pair.substr(0, eq)).substr(6) + "=\"" +
-                  json_escape(pair.substr(eq + 1)) + "\"";
+                  prom_escape(pair.substr(eq + 1)) + "\"";
     }
     at = comma + 1;
   }
   p.labels = rendered + "}";
   return p;
+}
+
+/// Exact q-quantile of a bin-1 histogram: the smallest value whose
+/// cumulative count reaches q·total (nearest-rank definition).
+double exact_quantile(const Histogram& h, double q) {
+  const auto total = static_cast<double>(h.total());
+  if (total <= 0.0) return 0.0;
+  const auto& bins = h.bins();
+  const double target = q * total;
+  double cum = 0.0;
+  for (std::size_t v = 0; v < bins.size(); ++v) {
+    cum += static_cast<double>(bins[v]);
+    if (cum >= target) return static_cast<double>(v);
+  }
+  return static_cast<double>(bins.empty() ? 0 : bins.size() - 1);
+}
+
+/// Merge a quantile label into an existing (possibly empty) label block.
+std::string with_quantile(const std::string& labels, const char* q) {
+  if (labels.empty()) return std::string("{quantile=\"") + q + "\"}";
+  return labels.substr(0, labels.size() - 1) + ",quantile=\"" + q + "\"}";
 }
 
 std::string prom_value(double v) {
@@ -350,13 +410,18 @@ bool write_chrome_trace(const std::string& path) {
 
 std::string prometheus_text(const std::vector<MetricSample>& samples) {
   std::ostringstream os;
-  // One "# TYPE" header per metric base name: labeled samples of the
-  // same base (comm.bytes_sent{peer=0}, {peer=1}, ...) are adjacent in
-  // the sorted snapshot and share their header.
+  // One "# HELP"/"# TYPE" header pair per metric base name: labeled
+  // samples of the same base (comm.bytes_sent{peer=0}, {peer=1}, ...)
+  // are adjacent in the sorted snapshot and share their header. HELP is
+  // emitted only when the site registered text via set_metric_help.
   std::string last_typed;
-  const auto type_header = [&](const std::string& base, const char* kind) {
+  const auto type_header = [&](const std::string& base, const char* kind,
+                               const std::string& registry_name) {
     if (base == last_typed) return;
     last_typed = base;
+    const std::string help = metric_help(registry_name);
+    if (!help.empty())
+      os << "# HELP " << base << " " << prom_help_escape(help) << "\n";
     os << "# TYPE " << base << " " << kind << "\n";
   };
   for (const auto& s : samples) {
@@ -364,28 +429,37 @@ std::string prometheus_text(const std::vector<MetricSample>& samples) {
     const std::string sample_name = p.base + p.labels;
     switch (s.kind) {
       case MetricKind::counter:
-        type_header(p.base, "counter");
+        type_header(p.base, "counter", s.name);
         os << sample_name << " " << prom_value(s.value) << "\n";
         break;
       case MetricKind::gauge:
-        type_header(p.base, "gauge");
+        type_header(p.base, "gauge", s.name);
         os << sample_name << " " << prom_value(s.value) << "\n";
         break;
       case MetricKind::histogram: {
-        // Exposed as a summary: _count/_sum plus min/max gauges (the
-        // bin-1 histograms are exact, so no quantile estimation needed).
+        // Exposed as a summary: exact p50/p95/p99 quantiles (the bin-1
+        // histograms hold full counts per value, so the nearest-rank
+        // quantile is exact, not estimated), _count/_sum, plus min/max
+        // gauges.
         double sum = 0.0;
         const auto& bins = s.hist.bins();
         for (std::size_t v = 0; v < bins.size(); ++v)
           sum += static_cast<double>(v) * static_cast<double>(bins[v]);
-        type_header(p.base, "summary");
+        type_header(p.base, "summary", s.name);
+        static constexpr struct {
+          const char* label;
+          double q;
+        } kQuantiles[] = {{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+        for (const auto& [label, q] : kQuantiles)
+          os << p.base << with_quantile(p.labels, label) << " "
+             << prom_value(exact_quantile(s.hist, q)) << "\n";
         os << p.base << "_count" << p.labels << " " << prom_value(s.value)
            << "\n"
            << p.base << "_sum" << p.labels << " " << prom_value(sum) << "\n";
-        type_header(p.base + "_min", "gauge");
+        type_header(p.base + "_min", "gauge", s.name);
         os << p.base << "_min" << p.labels << " " << s.hist.min_value()
            << "\n";
-        type_header(p.base + "_max", "gauge");
+        type_header(p.base + "_max", "gauge", s.name);
         os << p.base << "_max" << p.labels << " " << s.hist.max_value()
            << "\n";
         break;

@@ -102,13 +102,17 @@ bool write_chrome_trace(const std::string& path);
 
 // ---- Prometheus text ------------------------------------------------------
 
-/// Prometheus exposition text: "# TYPE" comment plus sample line(s) per
+/// Prometheus exposition text: "# HELP" (when registered via
+/// set_metric_help) and "# TYPE" comments plus sample line(s) per
 /// metric. Names are sanitized to [a-zA-Z0-9_:] and prefixed "spmvm_".
-/// Histograms emit _count/_sum/_min/_max samples. A metric name of the
-/// form "base{key=value,...}" renders with Prometheus label syntax —
-/// `spmvm_base{key="value"}` — and consecutive samples of one base
-/// share a single "# TYPE" header (the per-peer comm counters
-/// `comm.bytes_sent{peer=N}` rely on this).
+/// Histograms are exposed as summaries: exact p50/p95/p99
+/// `{quantile="..."}` samples (bin-1 histograms hold full counts, so
+/// nearest-rank quantiles are exact) plus _count/_sum/_min/_max. A
+/// metric name of the form "base{key=value,...}" renders with
+/// Prometheus label syntax — `spmvm_base{key="value"}`, label values
+/// escaped per the exposition format (backslash, quote, newline) — and
+/// consecutive samples of one base share a single header (the per-peer
+/// comm counters `comm.bytes_sent{peer=N}` rely on this).
 std::string prometheus_text(const std::vector<MetricSample>& samples);
 
 /// Snapshot the metrics registry and serialize it.

@@ -5,14 +5,27 @@
 // with s the scalar size (8 in the paper's DP formula), 4 bytes of column
 // index per non-zero, α ∈ [1/N_nzr, 1] the RHS re-load factor, and the
 // per-row result update (load + store of c[i]).
+//
+// Header-only on purpose: the Eq. 1 arithmetic is consumed by layers below
+// spmvm_perfmodel in the link order (obs/ledger, gpusim) that must not link
+// the perfmodel library to avoid a dependency cycle.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+
+#include "util/error.hpp"
 
 namespace spmvm::perfmodel {
 
 /// Bytes per flop of the spMVM kernel (Eq. 1, generalized to SP/DP).
-double code_balance(std::size_t scalar_size, double alpha, double nnzr);
+inline double code_balance(std::size_t scalar_size, double alpha,
+                           double nnzr) {
+  SPMVM_REQUIRE(nnzr > 0.0, "N_nzr must be positive");
+  SPMVM_REQUIRE(alpha >= 0.0, "alpha must be non-negative");
+  const auto s = static_cast<double>(scalar_size);
+  return ((s + 4.0) + s * alpha + 2.0 * s / nnzr) / 2.0;
+}
 
 /// Eq. 1 generalized to an arbitrary storage layout: `stored_bytes` is the
 /// format's full device footprint (values + indices + aux arrays, i.e.
@@ -21,22 +34,42 @@ double code_balance(std::size_t scalar_size, double alpha, double nnzr);
 /// traffic (s·α per non-zero) and the result update (2·s per row) are
 /// unchanged from Eq. 1. Used by the `auto` format plan to rank formats at
 /// measured α.
-double code_balance_stored(std::size_t stored_bytes, std::size_t nnz,
-                           std::size_t n_rows, std::size_t scalar_size,
-                           double alpha);
+inline double code_balance_stored(std::size_t stored_bytes, std::size_t nnz,
+                                  std::size_t n_rows, std::size_t scalar_size,
+                                  double alpha) {
+  SPMVM_REQUIRE(nnz > 0, "nnz must be positive");
+  SPMVM_REQUIRE(alpha >= 0.0, "alpha must be non-negative");
+  const auto s = static_cast<double>(scalar_size);
+  const double bytes = static_cast<double>(stored_bytes) +
+                       s * alpha * static_cast<double>(nnz) +
+                       2.0 * s * static_cast<double>(n_rows);
+  return bytes / (2.0 * static_cast<double>(nnz));
+}
 
 /// Lower bound of α: every RHS element loaded exactly once (κ = 0 in [4]).
-double alpha_ideal(double nnzr);
+inline double alpha_ideal(double nnzr) {
+  SPMVM_REQUIRE(nnzr > 0.0, "N_nzr must be positive");
+  return 1.0 / nnzr;
+}
 
 /// Splitting the spMVM into local and non-local parts writes the result
 /// twice, adding 2·s/N_nzr bytes/flop (Sec. III-A, naive overlap).
-double split_kernel_penalty(std::size_t scalar_size, double nnzr);
+inline double split_kernel_penalty(std::size_t scalar_size, double nnzr) {
+  SPMVM_REQUIRE(nnzr > 0.0, "N_nzr must be positive");
+  return static_cast<double>(scalar_size) / nnzr;
+}
 
 /// Bandwidth-limited throughput in GF/s: bandwidth / balance.
-double bandwidth_bound_gflops(double bandwidth_gbs, double balance);
+inline double bandwidth_bound_gflops(double bandwidth_gbs, double balance) {
+  SPMVM_REQUIRE(balance > 0.0, "balance must be positive");
+  return bandwidth_gbs / balance;
+}
 
 /// Roofline: min(peak, bandwidth-bound) in GF/s.
-double roofline_gflops(double peak_gflops, double bandwidth_gbs,
-                       double balance);
+inline double roofline_gflops(double peak_gflops, double bandwidth_gbs,
+                              double balance) {
+  return std::min(peak_gflops,
+                  bandwidth_bound_gflops(bandwidth_gbs, balance));
+}
 
 }  // namespace spmvm::perfmodel

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "solver/kernels.hpp"
@@ -15,6 +16,7 @@ BicgstabResult bicgstab(const Operator<T>& a, std::span<const T> b,
                         std::span<T> x, double tol, int max_iterations) {
   const auto n = static_cast<std::size_t>(a.size());
   SPMVM_TRACE_SPAN("solver/bicgstab");
+  obs::LedgerScope solve_led(obs::RoofLane::host, "solver", "bicgstab");
   static obs::Counter& c_iters = obs::counter("solver.iterations");
   std::vector<T> r(n), r0(n), p(n), v(n), s(n), t(n);
 
@@ -57,6 +59,8 @@ BicgstabResult bicgstab(const Operator<T>& a, std::span<const T> b,
         iter_span.set_arg("iteration", static_cast<double>(result.iterations));
         iter_span.set_arg("residual", result.residual_norm);
       }
+      obs::ledger_residual("bicgstab", result.iterations,
+                           result.residual_norm);
       result.converged = true;
       return result;
     }
@@ -80,6 +84,7 @@ BicgstabResult bicgstab(const Operator<T>& a, std::span<const T> b,
       iter_span.set_arg("iteration", static_cast<double>(result.iterations));
       iter_span.set_arg("residual", result.residual_norm);
     }
+    obs::ledger_residual("bicgstab", result.iterations, result.residual_norm);
     if (result.residual_norm <= stop) {
       result.converged = true;
       return result;

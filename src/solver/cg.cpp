@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "solver/kernels.hpp"
@@ -14,6 +15,9 @@ CgResult cg(const Operator<T>& a, std::span<const T> b, std::span<T> x,
             double tol, int max_iterations) {
   const auto n = static_cast<std::size_t>(a.size());
   SPMVM_TRACE_SPAN("solver/cg");
+  // Unpredicted scope: contributes the "solve" wall-time row so the
+  // ledger's phase breakdown shows kernel/blas1 share of time to solution.
+  obs::LedgerScope solve_led(obs::RoofLane::host, "solver", "cg");
   static obs::Counter& c_iters = obs::counter("solver.iterations");
   std::vector<T> r(n), p(n), ap(n);
 
@@ -49,6 +53,7 @@ CgResult cg(const Operator<T>& a, std::span<const T> b, std::span<T> x,
       iter_span.set_arg("iteration", static_cast<double>(result.iterations));
       iter_span.set_arg("residual", result.residual_norm);
     }
+    obs::ledger_residual("cg", result.iterations, result.residual_norm);
     if (result.residual_norm <= stop) {
       result.converged = true;
       break;

@@ -2,12 +2,34 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <span>
+
+#include "obs/ledger.hpp"
 
 namespace spmvm::solver {
 
+namespace detail {
+
+/// Roofline work for a streaming BLAS-1 op: `streams` vectors of `n`
+/// scalars through memory, `flops_per_elem` flops each. All ops here
+/// are pure streams, so the host STREAM roof is the right yardstick
+/// (no matrix, hence no nnz / alpha).
+inline obs::WorkDesc blas1_work(std::size_t n, std::size_t scalar_size,
+                                std::uint64_t streams,
+                                std::uint64_t flops_per_elem) {
+  obs::WorkDesc w;
+  w.bytes = streams * static_cast<std::uint64_t>(n) * scalar_size;
+  w.flops = flops_per_elem * static_cast<std::uint64_t>(n);
+  return w;
+}
+
+}  // namespace detail
+
 template <class T>
 double dot(std::span<const T> a, std::span<const T> b) {
+  obs::LedgerScope led(obs::RoofLane::host, "blas1", "dot");
+  if (led.active()) led.set_work(detail::blas1_work(a.size(), sizeof(T), 2, 2));
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i)
     acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
@@ -16,30 +38,38 @@ double dot(std::span<const T> a, std::span<const T> b) {
 
 template <class T>
 double norm2(std::span<const T> a) {
-  return std::sqrt(dot(a, a));
+  return std::sqrt(dot(a, a));  // ledger-attributed to "dot" by design
 }
 
 /// y += alpha * x
 template <class T>
 void axpy(T alpha, std::span<const T> x, std::span<T> y) {
+  obs::LedgerScope led(obs::RoofLane::host, "blas1", "axpy");
+  if (led.active()) led.set_work(detail::blas1_work(x.size(), sizeof(T), 3, 2));
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
 /// x = alpha * x
 template <class T>
 void scale(T alpha, std::span<T> x) {
+  obs::LedgerScope led(obs::RoofLane::host, "blas1", "scale");
+  if (led.active()) led.set_work(detail::blas1_work(x.size(), sizeof(T), 2, 1));
   for (auto& v : x) v *= alpha;
 }
 
 /// y = x
 template <class T>
 void copy(std::span<const T> x, std::span<T> y) {
+  obs::LedgerScope led(obs::RoofLane::host, "blas1", "copy");
+  if (led.active()) led.set_work(detail::blas1_work(x.size(), sizeof(T), 2, 0));
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
 }
 
 /// x = alpha*x + y  (used by CG's p-update)
 template <class T>
 void xpay(std::span<const T> y, T alpha, std::span<T> x) {
+  obs::LedgerScope led(obs::RoofLane::host, "blas1", "xpay");
+  if (led.active()) led.set_work(detail::blas1_work(x.size(), sizeof(T), 3, 2));
   for (std::size_t i = 0; i < x.size(); ++i) x[i] = alpha * x[i] + y[i];
 }
 

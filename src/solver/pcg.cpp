@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "solver/kernels.hpp"
@@ -31,6 +32,7 @@ CgResult pcg_jacobi(const Operator<T>& a, std::span<const T> diagonal,
                   "Jacobi preconditioner needs a non-zero diagonal");
 
   SPMVM_TRACE_SPAN("solver/pcg_jacobi");
+  obs::LedgerScope solve_led(obs::RoofLane::host, "solver", "pcg_jacobi");
   static obs::Counter& c_iters = obs::counter("solver.iterations");
   std::vector<T> r(n), z(n), p(n), ap(n);
   // r = b - A x0 in one fused matrix pass.
@@ -65,6 +67,8 @@ CgResult pcg_jacobi(const Operator<T>& a, std::span<const T> diagonal,
       iter_span.set_arg("iteration", static_cast<double>(result.iterations));
       iter_span.set_arg("residual", result.residual_norm);
     }
+    obs::ledger_residual("pcg_jacobi", result.iterations,
+                         result.residual_norm);
     if (result.residual_norm <= stop) {
       result.converged = true;
       break;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sparse/footprint.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -47,6 +48,19 @@ std::uint64_t kernel_bytes(const Pjds<T>& a) {
   c_nnz.add(nnz);
   c_bytes.add(bytes);
   span.set_bytes(bytes);
+}
+
+/// Roofline work descriptor — see sparse/spmv_host.cpp kernel_work.
+[[gnu::noinline]] obs::WorkDesc kernel_work(std::uint64_t nnz,
+                                            std::uint64_t bytes,
+                                            index_t n_rows) {
+  obs::WorkDesc w;
+  w.bytes = bytes;
+  w.flops = 2 * nnz;
+  w.nnz = nnz;
+  w.alpha = nnz > 0 ? static_cast<double>(n_rows) / static_cast<double>(nnz)
+                    : 0.0;
+  return w;
 }
 
 /// Rows [rb, re) of y via jagged-diagonal-major traversal: for each row
@@ -114,8 +128,11 @@ void spmv(const Pjds<T>& a, std::span<const T> x, std::span<T> y,
           int n_threads) {
   check_shapes(a, x, y);
   SPMVM_TRACE_SPAN_NAMED(span, "kernel/pjds");
-  record_kernel(span, static_cast<std::uint64_t>(a.val.size()),
-                kernel_bytes(a));
+  const std::uint64_t nnz = static_cast<std::uint64_t>(a.val.size());
+  const std::uint64_t bytes = kernel_bytes(a);
+  record_kernel(span, nnz, bytes);
+  obs::LedgerScope led(obs::RoofLane::host, "pjds", "spmv");
+  if (led.active()) led.set_work(kernel_work(nnz, bytes, a.n_rows));
   pjds_dispatch<T, false>(a, x.data(), y.data(), T{1}, T{0}, n_threads);
 }
 
@@ -124,8 +141,11 @@ void spmv_axpby(const Pjds<T>& a, std::span<const T> x, std::span<T> y,
                 T alpha, T beta, int n_threads) {
   check_shapes(a, x, y);
   SPMVM_TRACE_SPAN_NAMED(span, "kernel/pjds_axpby");
-  record_kernel(span, static_cast<std::uint64_t>(a.val.size()),
-                kernel_bytes(a));
+  const std::uint64_t nnz = static_cast<std::uint64_t>(a.val.size());
+  const std::uint64_t bytes = kernel_bytes(a);
+  record_kernel(span, nnz, bytes);
+  obs::LedgerScope led(obs::RoofLane::host, "pjds", "spmv_axpby");
+  if (led.active()) led.set_work(kernel_work(nnz, bytes, a.n_rows));
   pjds_dispatch<T, true>(a, x.data(), y.data(), alpha, beta, n_threads);
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -66,10 +67,37 @@ std::uint64_t kernel_bytes(const SlicedEll<T>& a) {
   static obs::Counter& c_calls = obs::counter("kernel.calls");
   static obs::Counter& c_nnz = obs::counter("kernel.nnz");
   static obs::Counter& c_bytes = obs::counter("kernel.bytes");
+  static const bool help = [] {
+    obs::set_metric_help("kernel.calls", "Host spMVM kernel invocations");
+    obs::set_metric_help("kernel.nnz",
+                         "Non-zeros processed by host spMVM kernels");
+    obs::set_metric_help("kernel.bytes",
+                         "Bytes streamed by host spMVM kernels (stored "
+                         "footprint plus RHS/LHS vectors, Eq. 1 accounting)");
+    return true;
+  }();
+  (void)help;
   c_calls.add();
   c_nnz.add(nnz);
   c_bytes.add(bytes);
   span.set_bytes(bytes);
+}
+
+/// Roofline work descriptor of one kernel call: the streamed bytes are
+/// kernel_bytes() (stored footprint + one RHS read + one LHS write, the
+/// Eq. 1 accounting), flops 2·nnz, α at its ideal value 1/N_nzr — the
+/// RHS stream is counted exactly once in kernel_bytes, so the host roof
+/// derived from these bytes is the perfect-cache bound.
+[[gnu::noinline]] obs::WorkDesc kernel_work(std::uint64_t nnz,
+                                            std::uint64_t bytes,
+                                            index_t n_rows) {
+  obs::WorkDesc w;
+  w.bytes = bytes;
+  w.flops = 2 * nnz;
+  w.nnz = nnz;
+  w.alpha = nnz > 0 ? static_cast<double>(n_rows) / static_cast<double>(nnz)
+                    : 0.0;
+  return w;
 }
 
 template <class T>
@@ -286,7 +314,11 @@ void spmv(const Csr<T>& a, std::span<const T> x, std::span<T> y,
           int n_threads) {
   check_shapes(a.n_rows, a.n_cols, x, y);
   SPMVM_TRACE_SPAN_NAMED(span, "kernel/csr");
-  record_kernel(span, static_cast<std::uint64_t>(a.nnz()), kernel_bytes(a));
+  const std::uint64_t nnz = static_cast<std::uint64_t>(a.nnz());
+  const std::uint64_t bytes = kernel_bytes(a);
+  record_kernel(span, nnz, bytes);
+  obs::LedgerScope led(obs::RoofLane::host, "csr", "spmv");
+  if (led.active()) led.set_work(kernel_work(nnz, bytes, a.n_rows));
   spmv_csr_impl(a, x, y, n_threads);
 }
 
@@ -295,7 +327,11 @@ void spmv_axpby(const Csr<T>& a, std::span<const T> x, std::span<T> y,
                 T alpha, T beta, int n_threads) {
   check_shapes(a.n_rows, a.n_cols, x, y);
   SPMVM_TRACE_SPAN_NAMED(span, "kernel/csr_axpby");
-  record_kernel(span, static_cast<std::uint64_t>(a.nnz()), kernel_bytes(a));
+  const std::uint64_t nnz = static_cast<std::uint64_t>(a.nnz());
+  const std::uint64_t bytes = kernel_bytes(a);
+  record_kernel(span, nnz, bytes);
+  obs::LedgerScope led(obs::RoofLane::host, "csr", "spmv_axpby");
+  if (led.active()) led.set_work(kernel_work(nnz, bytes, a.n_rows));
   spmv_csr_axpby_impl(a, x, y, alpha, beta, n_threads);
 }
 
@@ -304,8 +340,11 @@ void spmv_ellpack(const Ellpack<T>& a, std::span<const T> x, std::span<T> y,
                   int n_threads) {
   check_shapes(a.n_rows, a.n_cols, x, y);
   SPMVM_TRACE_SPAN_NAMED(span, "kernel/ellpack");
-  record_kernel(span, static_cast<std::uint64_t>(a.val.size()),
-                kernel_bytes(a, /*with_row_len=*/false));
+  const std::uint64_t nnz = static_cast<std::uint64_t>(a.val.size());
+  const std::uint64_t bytes = kernel_bytes(a, /*with_row_len=*/false);
+  record_kernel(span, nnz, bytes);
+  obs::LedgerScope led(obs::RoofLane::host, "ellpack", "spmv");
+  if (led.active()) led.set_work(kernel_work(nnz, bytes, a.n_rows));
   spmv_ellpack_impl(a, x, y, n_threads);
 }
 
@@ -314,8 +353,11 @@ void spmv_ellpack_r(const Ellpack<T>& a, std::span<const T> x, std::span<T> y,
                     int n_threads) {
   check_shapes(a.n_rows, a.n_cols, x, y);
   SPMVM_TRACE_SPAN_NAMED(span, "kernel/ellpack_r");
-  record_kernel(span, static_cast<std::uint64_t>(a.nnz),
-                kernel_bytes(a, /*with_row_len=*/true));
+  const std::uint64_t nnz = static_cast<std::uint64_t>(a.nnz);
+  const std::uint64_t bytes = kernel_bytes(a, /*with_row_len=*/true);
+  record_kernel(span, nnz, bytes);
+  obs::LedgerScope led(obs::RoofLane::host, "ellpack_r", "spmv");
+  if (led.active()) led.set_work(kernel_work(nnz, bytes, a.n_rows));
   spmv_ellpack_r_impl(a, x, y, n_threads);
 }
 
@@ -323,8 +365,11 @@ template <class T>
 void spmv(const Jds<T>& a, std::span<const T> x, std::span<T> y) {
   check_shapes(a.n_rows, a.n_cols, x, y);
   SPMVM_TRACE_SPAN_NAMED(span, "kernel/jds");
-  record_kernel(span, static_cast<std::uint64_t>(a.val.size()),
-                kernel_bytes(a));
+  const std::uint64_t nnz = static_cast<std::uint64_t>(a.val.size());
+  const std::uint64_t bytes = kernel_bytes(a);
+  record_kernel(span, nnz, bytes);
+  obs::LedgerScope led(obs::RoofLane::host, "jds", "spmv");
+  if (led.active()) led.set_work(kernel_work(nnz, bytes, a.n_rows));
   spmv_jds_impl(a, x, y);
 }
 
@@ -333,8 +378,11 @@ void spmv(const SlicedEll<T>& a, std::span<const T> x, std::span<T> y,
           int n_threads) {
   check_shapes(a.n_rows, a.n_cols, x, y);
   SPMVM_TRACE_SPAN_NAMED(span, "kernel/sell");
-  record_kernel(span, static_cast<std::uint64_t>(a.val.size()),
-                kernel_bytes(a));
+  const std::uint64_t nnz = static_cast<std::uint64_t>(a.val.size());
+  const std::uint64_t bytes = kernel_bytes(a);
+  record_kernel(span, nnz, bytes);
+  obs::LedgerScope led(obs::RoofLane::host, "sell", "spmv");
+  if (led.active()) led.set_work(kernel_work(nnz, bytes, a.n_rows));
   spmv_sell_impl(a, x, y, n_threads);
 }
 
@@ -343,8 +391,11 @@ void spmv_axpby(const SlicedEll<T>& a, std::span<const T> x, std::span<T> y,
                 T alpha, T beta, int n_threads) {
   check_shapes(a.n_rows, a.n_cols, x, y);
   SPMVM_TRACE_SPAN_NAMED(span, "kernel/sell_axpby");
-  record_kernel(span, static_cast<std::uint64_t>(a.val.size()),
-                kernel_bytes(a));
+  const std::uint64_t nnz = static_cast<std::uint64_t>(a.val.size());
+  const std::uint64_t bytes = kernel_bytes(a);
+  record_kernel(span, nnz, bytes);
+  obs::LedgerScope led(obs::RoofLane::host, "sell", "spmv_axpby");
+  if (led.active()) led.set_work(kernel_work(nnz, bytes, a.n_rows));
   spmv_sell_axpby_impl(a, x, y, alpha, beta, n_threads);
 }
 

@@ -1,0 +1,158 @@
+// Degenerate inputs of the comm-phase attributor (obs/attribution):
+// empty traces, traces with no plan iterations, a single-rank trace
+// (synthetic and a real 1-rank CommPlan run), and a trace truncated by
+// SPMVM_TRACE_CAP — none of which may crash or produce insane sums.
+#include "obs/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/comm_plan.hpp"
+#include "matgen/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "test_helpers.hpp"
+
+namespace spmvm {
+namespace {
+
+class ScopedTracing {
+ public:
+  explicit ScopedTracing(bool on) : prev_(obs::tracing_enabled()) {
+    obs::clear_trace();
+    obs::set_tracing(on);
+  }
+  ~ScopedTracing() {
+    obs::set_tracing(prev_);
+    obs::clear_trace();
+  }
+
+ private:
+  bool prev_;
+};
+
+obs::TraceEvent make_event(const char* name, std::uint64_t t0_us,
+                           std::uint64_t t1_us, int rank,
+                           std::uint16_t depth) {
+  obs::TraceEvent e;
+  e.name = name;
+  e.t0_ns = t0_us * 1000;
+  e.t1_ns = t1_us * 1000;
+  e.rank = rank;
+  e.depth = depth;
+  return e;
+}
+
+TEST(AttributionEdge, EmptyTraceYieldsEmptyReport) {
+  const obs::AttributionReport report = obs::attribute_comm_phases({});
+  EXPECT_TRUE(report.empty());
+  EXPECT_TRUE(report.ranks.empty());
+  EXPECT_TRUE(report.peers.empty());
+  EXPECT_DOUBLE_EQ(report.overlap_pct(), 0.0);
+  EXPECT_TRUE(report.counters().empty());
+  // render() must still produce a readable placeholder, not crash.
+  EXPECT_NE(report.render().find("no comm-plan iterations"),
+            std::string::npos);
+}
+
+TEST(AttributionEdge, TraceWithoutPlanIterationsIsEmpty) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back(make_event("kernel/pjds", 0, 500, 0, 0));
+  events.push_back(make_event("solver/cg", 0, 900, 0, 0));
+  const obs::AttributionReport report = obs::attribute_comm_phases(events);
+  EXPECT_TRUE(report.empty());
+  EXPECT_TRUE(report.counters().empty());
+}
+
+TEST(AttributionEdge, SyntheticSingleRankTrace) {
+  // One vector-mode iteration on rank 0: gather, exchange, local,
+  // non-local — strictly sequential, so no overlap.
+  std::vector<obs::TraceEvent> events;
+  events.push_back(make_event("dist/plan_vector", 0, 1000, 0, 0));
+  events.push_back(make_event("comm/plan_gather", 0, 100, 0, 1));
+  events.push_back(make_event("comm/plan_sends", 100, 200, 0, 1));
+  events.push_back(make_event("comm/plan_waitall", 200, 300, 0, 1));
+  events.push_back(make_event("kernel/local", 300, 800, 0, 1));
+  events.push_back(make_event("kernel/nonlocal", 800, 950, 0, 1));
+
+  const obs::AttributionReport report = obs::attribute_comm_phases(events);
+  ASSERT_EQ(report.ranks.size(), 1u);
+  const obs::RankPhases& r = report.ranks[0];
+  EXPECT_EQ(r.rank, 0);
+  EXPECT_EQ(r.iterations, 1u);
+  EXPECT_NEAR(r.wall_s, 1.0e-3, 1e-12);
+  EXPECT_NEAR(r.phase_sum_s, 0.95e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(r.overlap_s, 0.0);
+  // With one rank, every spread collapses to min == median == max.
+  for (const obs::PhaseSpread& p : report.phases) {
+    EXPECT_DOUBLE_EQ(p.min_s, p.median_s);
+    EXPECT_DOUBLE_EQ(p.median_s, p.max_s);
+    EXPECT_DOUBLE_EQ(p.total_s, p.median_s);
+  }
+  EXPECT_FALSE(report.counters().empty());
+  EXPECT_NE(report.render().find("rank"), std::string::npos);
+}
+
+TEST(AttributionEdge, RealSingleRankPlanRun) {
+  ScopedTracing on(true);
+  const auto a = testing::random_csr<double>(96, 96, 1, 9, 11);
+  const auto part = dist::partition_balanced_nnz(a, 1);
+  const auto x = testing::random_vector<double>(a.n_cols, 5);
+  msg::Runtime::run(1, [&](msg::Comm& comm) {
+    const auto d = dist::distribute(a, part, comm.rank());
+    std::vector<double> x_local(x.begin(), x.end());
+    std::vector<double> y(static_cast<std::size_t>(d.n_local));
+    dist::CommPlan<double> plan(comm, d, dist::CommScheme::vector_mode);
+    for (int it = 0; it < 3; ++it)
+      plan.spmv(std::span<const double>(x_local), std::span<double>(y));
+  });
+  const obs::AttributionReport report =
+      obs::attribute_comm_phases(obs::collect());
+  ASSERT_EQ(report.ranks.size(), 1u);
+  EXPECT_EQ(report.ranks[0].iterations, 3u);
+  EXPECT_GT(report.ranks[0].wall_s, 0.0);
+  // A 1-rank partition has no halo: zero comm bytes must not divide by
+  // zero anywhere (no peers, finite percentages).
+  EXPECT_TRUE(report.peers.empty());
+  EXPECT_GE(report.overlap_pct(), 0.0);
+}
+
+TEST(AttributionEdge, CapTruncatedTraceStaysSane) {
+  ScopedTracing on(true);
+  const std::size_t prev_cap = obs::trace_cap();
+  obs::set_trace_cap(4);
+  obs::set_rank(0);
+  const std::uint64_t dropped_before =
+      obs::counter("trace.dropped_spans").value();
+
+  // The iteration span and the first phases land under the cap; the
+  // trailing spans overflow and are dropped.
+  { SPMVM_TRACE_SPAN("dist/plan_vector"); }
+  { SPMVM_TRACE_SPAN("comm/plan_gather"); }
+  { SPMVM_TRACE_SPAN("kernel/local"); }
+  { SPMVM_TRACE_SPAN("kernel/nonlocal"); }
+  for (int i = 0; i < 16; ++i) {
+    SPMVM_TRACE_SPAN("comm/plan_waitall");
+  }
+
+  obs::set_rank(-1);
+  obs::set_trace_cap(prev_cap);
+  EXPECT_GT(obs::counter("trace.dropped_spans").value(), dropped_before);
+
+  const obs::AttributionReport report =
+      obs::attribute_comm_phases(obs::collect());
+  ASSERT_EQ(report.ranks.size(), 1u);
+  const obs::RankPhases& r = report.ranks[0];
+  EXPECT_EQ(r.iterations, 1u);
+  // Truncation may lose phase spans but can never manufacture time.
+  for (int p = 0; p < obs::kNumCommPhases; ++p)
+    EXPECT_GE(r.phase_s[p], 0.0);
+  EXPECT_GE(r.overlap_s, 0.0);
+  EXPECT_FALSE(report.counters().empty());
+}
+
+}  // namespace
+}  // namespace spmvm

@@ -192,6 +192,97 @@ TEST(PrometheusExport, LiveRegistrySnapshotSerializes) {
   EXPECT_NE(text.find("spmvm_test_prom_live"), std::string::npos);
 }
 
+TEST(PrometheusExport, HelpLinesPrecedeTypeWhenRegistered) {
+  obs::set_metric_help("test.documented", "What it counts\nsecond line \\x");
+  std::vector<obs::MetricSample> samples;
+  samples.push_back({"test.documented", obs::MetricKind::counter, 1.0, {}});
+  samples.push_back({"test.undocumented", obs::MetricKind::counter, 2.0, {}});
+
+  const std::string text = obs::prometheus_text(samples);
+  // HELP escaping: backslash and newline only (quotes stay literal).
+  const std::size_t help = text.find(
+      "# HELP spmvm_test_documented What it counts\\nsecond line \\\\x\n");
+  const std::size_t type =
+      text.find("# TYPE spmvm_test_documented counter\n");
+  ASSERT_NE(help, std::string::npos) << text;
+  ASSERT_NE(type, std::string::npos);
+  EXPECT_LT(help, type);
+  EXPECT_EQ(text.find("# HELP spmvm_test_undocumented"), std::string::npos);
+}
+
+TEST(PrometheusExport, HelpFallsBackToBaseNameForLabeledMetrics) {
+  obs::set_metric_help("test.labeled_help", "per-peer traffic");
+  std::vector<obs::MetricSample> samples;
+  samples.push_back(
+      {"test.labeled_help{peer=3}", obs::MetricKind::counter, 8.0, {}});
+  const std::string text = obs::prometheus_text(samples);
+  EXPECT_NE(text.find("# HELP spmvm_test_labeled_help per-peer traffic\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusExport, HistogramsExposeExactQuantiles) {
+  // 100 observations of 1..100: nearest-rank p50 = 50, p95 = 95, p99 = 99.
+  Histogram h;
+  for (int v = 1; v <= 100; ++v) h.add(v);
+  std::vector<obs::MetricSample> samples;
+  samples.push_back({"test.quant", obs::MetricKind::histogram, 100.0, h});
+
+  const std::string text = obs::prometheus_text(samples);
+  EXPECT_NE(text.find("spmvm_test_quant{quantile=\"0.5\"} 50\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("spmvm_test_quant{quantile=\"0.95\"} 95\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spmvm_test_quant{quantile=\"0.99\"} 99\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spmvm_test_quant_count 100\n"), std::string::npos);
+}
+
+TEST(PrometheusExport, LabeledHistogramQuantilesMergeLabelSets) {
+  Histogram h;
+  h.add(4, 2);
+  std::vector<obs::MetricSample> samples;
+  samples.push_back(
+      {"test.lq{format=pjds}", obs::MetricKind::histogram, 2.0, h});
+  const std::string text = obs::prometheus_text(samples);
+  // The quantile label joins the existing set inside one brace pair.
+  EXPECT_NE(
+      text.find("spmvm_test_lq{format=\"pjds\",quantile=\"0.5\"} 4\n"),
+      std::string::npos)
+      << text;
+}
+
+TEST(PrometheusExport, LabelValuesAreEscaped) {
+  std::vector<obs::MetricSample> samples;
+  samples.push_back({"test.esc{path=a\\b\"c\nd}",
+                     obs::MetricKind::counter, 1.0, {}});
+  const std::string text = obs::prometheus_text(samples);
+  // Exposition format: backslash, quote and newline escaped in values.
+  EXPECT_NE(text.find("spmvm_test_esc{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Metrics, ResetAllClearsGaugesToo) {
+  obs::counter("test.reset_all_counter").add(5);
+  obs::gauge("test.reset_all_gauge").set(3.5);
+  obs::histogram("test.reset_all_hist").observe(2);
+
+  // reset_metrics keeps gauges (same-workload repetition semantics) ...
+  obs::reset_metrics();
+  EXPECT_EQ(obs::counter("test.reset_all_counter").value(), 0u);
+  EXPECT_DOUBLE_EQ(obs::gauge("test.reset_all_gauge").value(), 3.5);
+
+  // ... reset_all() zeroes gauges as well (workload-switch semantics).
+  obs::gauge("test.reset_all_gauge").set(3.5);
+  obs::counter("test.reset_all_counter").add(7);
+  obs::reset_all();
+  EXPECT_EQ(obs::counter("test.reset_all_counter").value(), 0u);
+  EXPECT_DOUBLE_EQ(obs::gauge("test.reset_all_gauge").value(), 0.0);
+  EXPECT_EQ(obs::histogram("test.reset_all_hist").snapshot().total(), 0u);
+}
+
 // ---- Chrome trace JSON ----------------------------------------------------
 
 TEST(ChromeExport, EmitsWellFormedJsonWithThreadsAndArgs) {
