@@ -5,6 +5,9 @@
 // registry, so adding a format to formats/registry.cpp adds its
 // spmv/<name> rows here with no bench change. `--list-formats` prints
 // the registry; `--format=<name>` restricts the run to one format.
+// `--backend=<name>` launches the per-format sweep through the exec
+// engine's host, gpusim, hybrid, or auto backend (`--list-backends`
+// prints them); the backend is recorded in the bench.json metadata.
 //
 // Each benchmark reports GF/s (2·nnz flops per product) and the
 // effective memory bandwidth GB/s derived from the format's device
@@ -28,6 +31,8 @@
 #include <vector>
 
 #include "core/spmmv.hpp"
+#include "exec/dispatch.hpp"
+#include "exec/engine.hpp"
 #include "formats/plans.hpp"
 #include "formats/registry.hpp"
 #include "matgen/generators.hpp"
@@ -36,6 +41,9 @@
 using namespace spmvm;
 
 namespace {
+
+/// Execution backend of the per-format sweep (--backend, default host).
+std::string g_backend = "host";
 
 const Csr<double>& test_matrix() {
   static const Csr<double> a = [] {
@@ -173,10 +181,19 @@ using PlanPtr = std::shared_ptr<const formats::FormatPlan<double>>;
 
 void bm_plan_spmv(benchmark::State& state, const PlanPtr& plan) {
   const auto& a = test_matrix();
-  const int threads = static_cast<int>(state.range(0));
+  exec::LaunchOptions launch;
+  launch.n_threads = static_cast<int>(state.range(0));
+  launch.basis = exec::Basis::plan;
+  // The hybrid backend re-splits the CSR rows; the single-target
+  // backends reuse the prebuilt plan outright.
+  auto& eng = exec::engine<double>();
+  const auto bound =
+      g_backend == "hybrid"
+          ? eng.bind(g_backend, a, plan->info().name, {}, launch)
+          : eng.bind_plan(g_backend, plan, launch);
   Vectors v(a);
   for (auto _ : state) {
-    plan->spmv(std::span<const double>(v.x), std::span<double>(v.y), threads);
+    bound->apply(std::span<const double>(v.x), std::span<double>(v.y));
     benchmark::DoNotOptimize(v.y.data());
   }
   report(state, plan->nnz(), product_bytes(*plan));
@@ -231,7 +248,8 @@ void bm_pjds_block_rows(benchmark::State& state) {
   const auto plan = formats::registry<double>().build("pjds", a, opt);
   Vectors v(a);
   for (auto _ : state) {
-    plan->spmv(std::span<const double>(v.x), std::span<double>(v.y));
+    exec::plan_spmv(*plan, std::span<const double>(v.x),
+                    std::span<double>(v.y));
     benchmark::DoNotOptimize(v.y.data());
   }
   report(state, plan->nnz(), product_bytes(*plan));
@@ -356,13 +374,21 @@ int main(int argc, char** argv) {
   // Strip our own flags before google-benchmark parses the rest.
   std::string json_path, only_format, err;
   if (!obs::consume_json_flag(&argc, argv, &json_path, &err) ||
-      !obs::consume_value_flag(&argc, argv, "--format", &only_format, &err)) {
+      !obs::consume_value_flag(&argc, argv, "--format", &only_format, &err) ||
+      !obs::consume_backend_flag(&argc, argv, &g_backend, &err)) {
     std::fprintf(stderr, "error: %s\n", err.c_str());
     return 1;
   }
   if (obs::consume_switch(&argc, argv, "--list-formats")) {
     for (const auto& info : formats::registry<double>().list())
       std::printf("%-12s  %s\n", info.name, info.description);
+    return 0;
+  }
+  if (obs::consume_switch(&argc, argv, "--list-backends")) {
+    for (const exec::BackendInfo& b : exec::engine<double>().list())
+      std::printf("%-8s  %s\n", b.name, b.description);
+    std::printf("%-8s  %s\n", "auto",
+                "pick per matrix with the Eq. 1/Eq. 2 balance model");
     return 0;
   }
   if (!only_format.empty() &&
@@ -388,6 +414,7 @@ int main(int argc, char** argv) {
         "hardware_threads",
         std::to_string(std::thread::hardware_concurrency()));
     report.metadata.emplace_back("scale", "128");
+    report.metadata.emplace_back("backend", g_backend);
     if (!only_format.empty())
       report.metadata.emplace_back("format", only_format);
     report.entries = std::move(reporter.entries);

@@ -21,6 +21,7 @@
 #include <fstream>
 #include <string>
 
+#include "exec/engine.hpp"
 #include "obs/ledger.hpp"
 #include "obs/regress.hpp"
 #include "obs/report.hpp"
@@ -38,6 +39,7 @@ void print_usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--smoke] [--filter <substr>] [--json <path>]\n"
+      "          [--backend <host|gpusim|hybrid|auto>] [--list-backends]\n"
       "          [--compare <baseline.json>] [--compare-files <a> <b>]\n"
       "          [--rel-tol <frac>] [--stddev-k <k>] [--gate <substr>]\n"
       "          [--trace <out.json>] [--roofline <out.json>] [--list]\n"
@@ -94,9 +96,20 @@ int main(int argc, char** argv) {
   opt.stddev_k = env_or("SPMVM_BENCH_STDDEV_K", opt.stddev_k);
 
   std::string err;
-  if (!obs::consume_json_flag(&argc, argv, &json_path, &err)) {
+  std::string backend = "host";
+  if (!obs::consume_json_flag(&argc, argv, &json_path, &err) ||
+      !obs::consume_backend_flag(&argc, argv, &backend, &err)) {
     std::fprintf(stderr, "error: %s\n", err.c_str());
     return 2;
+  }
+  if (obs::consume_switch(&argc, argv, "--list-backends")) {
+    AsciiTable t({"backend", "device", "description"});
+    for (const exec::BackendInfo& b : exec::engine<double>().list())
+      t.add_row({b.name, b.uses_device ? "yes" : "no", b.description});
+    t.add_row({"auto", "-",
+               "pick per matrix with the Eq. 1/Eq. 2 balance model"});
+    std::printf("%s\n", t.render().c_str());
+    return 0;
   }
 
   const auto value_of = [&](int& i, const char* flag) -> const char* {
@@ -160,11 +173,12 @@ int main(int argc, char** argv) {
                          obs::load_bench_report(cmp_b), opt);
     }
 
-    const suite::SuiteConfig cfg = suite::SuiteConfig::from_env(smoke);
+    suite::SuiteConfig cfg = suite::SuiteConfig::from_env(smoke);
+    cfg.backend = backend;
     std::printf("bench_suite: %s mode, min_reps=%d, min_seconds=%g, "
-                "host_scale=%g, threads=%d\n\n",
+                "host_scale=%g, threads=%d, backend=%s\n\n",
                 cfg.smoke ? "smoke" : "full", cfg.min_reps, cfg.min_seconds,
-                cfg.host_scale, cfg.threads);
+                cfg.host_scale, cfg.threads, cfg.backend.c_str());
     if (!trace_path.empty()) obs::set_tracing(true);
     if (!roofline_path.empty()) obs::set_ledger_enabled(true);
     const obs::BenchReport report = suite::run_suite(cfg, filter);

@@ -9,6 +9,8 @@
 
 #include "dist/cluster_model.hpp"
 #include "dist/comm_plan.hpp"
+#include "exec/dispatch.hpp"
+#include "exec/engine.hpp"
 #include "formats/registry.hpp"
 #include "matgen/suite.hpp"
 #include "obs/attribution.hpp"
@@ -18,7 +20,6 @@
 #include "perfmodel/balance.hpp"
 #include "perfmodel/model_eval.hpp"
 #include "perfmodel/pcie_impact.hpp"
-#include "sparse/spmv_host.hpp"
 #include "util/timer.hpp"
 
 namespace spmvm::suite {
@@ -78,7 +79,7 @@ obs::BenchEntry measured_entry(const SuiteConfig& cfg, const std::string& name,
       &ctx);
 }
 
-// ---- host_kernels: measured CPU spMVM per storage format -----------------
+// ---- host_kernels: measured spMVM per storage format ---------------------
 
 void run_host_kernels(const SuiteConfig& cfg, obs::BenchReport& report) {
   GenConfig gen;
@@ -86,19 +87,26 @@ void run_host_kernels(const SuiteConfig& cfg, obs::BenchReport& report) {
   const Csr<double> a = make_samg<double>(gen);
   std::vector<double> x(static_cast<std::size_t>(a.n_cols), 1.0);
   std::vector<double> y(static_cast<std::size_t>(a.n_rows));
-  const int t = cfg.threads;
 
   // Every registered format, by registry enumeration — adding a format
-  // adds a host/<name> row here with no suite change.
+  // adds a <backend>/<name> row here with no suite change. Products go
+  // through the exec engine, so --backend retargets the whole scenario
+  // (gpusim and hybrid execute the same host kernels for numerics;
+  // their simulated clocks advance on the side).
+  exec::LaunchOptions launch;
+  launch.n_threads = cfg.threads;
+  launch.basis = exec::Basis::plan;
+  auto& eng = exec::engine<double>();
   const auto& reg = formats::registry<double>();
   for (const formats::FormatInfo& info : reg.list()) {
     if (std::string_view(info.name) == "auto")
       continue;  // measured separately (auto_format scenario)
     const auto plan = reg.build(info.name, a);
+    const auto bound = eng.bind_plan(cfg.backend, plan, launch);
     report.entries.push_back(measured_entry(
-        cfg, std::string("host/") + info.name, a.nnz(),
+        cfg, cfg.backend + "/" + info.name, a.nnz(),
         product_bytes(plan->footprint(), a.n_rows, a.n_cols), [&] {
-          plan->spmv(std::span<const double>(x), std::span<double>(y), t);
+          bound->apply(std::span<const double>(x), std::span<double>(y));
         }));
   }
 }
@@ -177,9 +185,56 @@ void run_host_reference(const SuiteConfig& cfg, obs::BenchReport& report) {
     report.entries.push_back(measured_entry(
         cfg, std::string("deviation/") + it.name + "/host", a.nnz(),
         product_bytes(footprint(a), a.n_rows, a.n_cols), [&] {
-          spmv(a, std::span<const double>(x), std::span<double>(y), t);
+          exec::host_spmv(a, std::span<const double>(x), std::span<double>(y),
+                          t);
         }));
   }
+}
+
+// ---- exec_backends: one product per execution backend --------------------
+
+/// Deterministic split and PCIe accounting of the exec engine: bind the
+/// same matrix to every backend, run one product each, and record what
+/// the backend decided (row split, device nnz share) and what it staged
+/// over the simulated PCIe link (Eq. 2 pricing). All counters derive
+/// from the model, so CI gates them bit-exactly.
+void run_exec_backends(const SuiteConfig&, obs::BenchReport& report) {
+  // A private engine: simulated clocks and staging counters start at
+  // zero, so every number below is the exact cost of one product.
+  exec::Engine<double> eng;
+  const auto a = make_named("DLR1", 64).matrix;
+  std::vector<double> x(static_cast<std::size_t>(a.n_cols), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.n_rows));
+
+  formats::PlanOptions fopt;
+  fopt.probe = false;  // keep any format selection bit-deterministic
+  for (const char* name : {"host", "gpusim", "hybrid"}) {
+    const std::uint64_t h2d0 = eng.transfers()->bytes_to_device();
+    const std::uint64_t d2h0 = eng.transfers()->bytes_to_host();
+    const double s0 = eng.transfers()->transfer_seconds();
+    const auto bound = eng.bind(name, a, "pjds", fopt);
+    bound->apply(std::span<const double>(x), std::span<double>(y));
+    report.entries.push_back(obs::summarize_samples(
+        std::string("exec/") + name, {},
+        {{"split_row", static_cast<double>(bound->split_row())},
+         {"device_nnz_share", bound->device_nnz_share()},
+         {"h2d_bytes", static_cast<double>(
+                           eng.transfers()->bytes_to_device() - h2d0)},
+         {"d2h_bytes", static_cast<double>(
+                           eng.transfers()->bytes_to_host() - d2h0)},
+         {"pcie_seconds", eng.transfers()->transfer_seconds() - s0}}));
+  }
+
+  // The `auto` choice for the same matrix: the Eq. 1/Eq. 2 bound per
+  // backend and the winner (recorded as metadata — it is a name).
+  const exec::BackendChoice c = eng.select_backend(a);
+  report.entries.push_back(obs::summarize_samples(
+      "exec/auto", {},
+      {{"host_s", c.host_seconds},
+       {"gpusim_s", c.gpusim_seconds},
+       {"hybrid_s", c.hybrid_seconds},
+       {"device_share", c.hybrid_device_share}}));
+  report.metadata.emplace_back("exec.auto.backend", c.chosen);
 }
 
 // ---- pcie_thresholds: the Eqs. 3/4 favorable-N_nzr numbers ---------------
@@ -404,6 +459,10 @@ constexpr Scenario kScenarios[] = {
     {"host_reference",
      "the model-deviation matrices on this machine's CPU (CSR)", false,
      run_host_reference},
+    {"exec_backends",
+     "one product per execution backend: row split and PCIe accounting "
+     "(DLR1)",
+     true, run_exec_backends},
     {"pcie_thresholds", "Eqs. 3/4 favorable-N_nzr thresholds", true,
      run_pcie_thresholds},
     {"dist_comm_modes",
@@ -446,6 +505,7 @@ obs::BenchReport run_suite(const SuiteConfig& cfg, const std::string& filter) {
                                std::to_string(cfg.min_seconds));
   report.metadata.emplace_back("host_scale", std::to_string(cfg.host_scale));
   report.metadata.emplace_back("threads", std::to_string(cfg.threads));
+  report.metadata.emplace_back("backend", cfg.backend);
   if (!filter.empty()) report.metadata.emplace_back("filter", filter);
 
   for (const Scenario& s : kScenarios) {

@@ -29,6 +29,9 @@ struct SuiteConfig {
   double min_seconds = 0.02;  // SPMVM_BENCH_MIN_SECONDS, per measured case
   double host_scale = 64.0;   // SPMVM_BENCH_SCALE, host-kernel matrix 1/S
   int threads = 1;            // SPMVM_BENCH_THREADS, host-kernel threads
+  /// Execution backend the measured kernel scenarios launch through
+  /// (--backend): host, gpusim, hybrid, or auto.
+  std::string backend = "host";
 
   /// Defaults for the mode, then SPMVM_BENCH_* overrides applied.
   static SuiteConfig from_env(bool smoke);

@@ -1,38 +1,21 @@
 // Device pipeline: a complete GPU-resident solver workflow on the
-// simulated card. The matrix is uploaded once in pJDS, CG runs with the
-// spMVM dispatched through the device runtime (correct numerics, modeled
-// timing), and the example reports where the simulated device time went —
-// including the difference between shuttling vectors over PCIe every
-// iteration and keeping them resident (Sec. III's discussion).
+// simulated card, driven entirely through the execution engine. The
+// matrix is bound to the gpusim backend in pJDS (one image upload), CG
+// iterates with every product launched by the backend (correct
+// numerics, modeled timing), and the example reports where the
+// simulated device time went — including the difference between
+// shuttling vectors over PCIe every iteration and keeping them resident
+// (Sec. III's discussion, LaunchOptions::vectors_resident).
 #include <cstdio>
 #include <memory>
+#include <vector>
 
-#include "gpusim/device_runtime.hpp"
+#include "exec/engine.hpp"
 #include "matgen/generators.hpp"
 #include "solver/cg.hpp"
 #include "sparse/matrix_stats.hpp"
 
 using namespace spmvm;
-
-namespace {
-
-solver::CgResult run_cg_on_device(std::shared_ptr<gpusim::DeviceRuntime> dev,
-                                  const Csr<double>& a, bool resident) {
-  auto op_dev =
-      std::make_shared<gpusim::DeviceSpmv<double>>(dev, a,
-                                                   gpusim::FormatKind::pjds);
-  const solver::Operator<double> op(
-      a.n_rows, [op_dev, resident](std::span<const double> x,
-                                   std::span<double> y) {
-        op_dev->apply(x, y, resident);
-      });
-  std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
-  std::vector<double> x(b.size(), 0.0);
-  return solver::cg(op, std::span<const double>(b), std::span<double>(x),
-                    1e-8, 2000);
-}
-
-}  // namespace
 
 int main() {
   const auto a = make_banded<double>(120000, 8);
@@ -40,18 +23,31 @@ int main() {
               format_stats("banded SPD", compute_stats(a)).c_str());
 
   for (const bool resident : {false, true}) {
-    auto dev = std::make_shared<gpusim::DeviceRuntime>(
-        gpusim::DeviceSpec::tesla_c2070());
-    const auto r = run_cg_on_device(dev, a, resident);
-    std::printf("CG on simulated %s, vectors %s:\n",
-                dev->spec().name.c_str(),
+    // A fresh engine per configuration, so the simulated device clocks
+    // count exactly one solve.
+    exec::Engine<double> eng;
+    exec::LaunchOptions launch;
+    launch.vectors_resident = resident;
+    std::shared_ptr<exec::BoundSpmv<double>> bound =
+        eng.at("gpusim").bind(a, "pjds", {}, launch);
+    const solver::Operator<double> op = solver::make_operator(bound);
+
+    std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
+    std::vector<double> x(b.size(), 0.0);
+    const solver::CgResult r = solver::cg(
+        op, std::span<const double>(b), std::span<double>(x), 1e-8, 2000);
+
+    const auto& dev = *eng.transfers()->device();
+    std::printf("CG on simulated %s (gpusim backend), vectors %s:\n",
+                dev.spec().name.c_str(),
                 resident ? "device-resident" : "shuttled over PCIe");
     std::printf("  converged: %s after %d iterations (residual %.2e)\n",
                 r.converged ? "yes" : "NO", r.iterations, r.residual_norm);
     std::printf("  simulated device time: %.2f ms  (kernels %.2f ms, "
-                "transfers %.2f ms)\n\n",
-                dev->elapsed_seconds() * 1e3, dev->kernel_seconds() * 1e3,
-                dev->transfer_seconds() * 1e3);
+                "transfers %.2f ms over %llu PCIe trips)\n\n",
+                dev.elapsed_seconds() * 1e3, dev.kernel_seconds() * 1e3,
+                dev.transfer_seconds() * 1e3,
+                static_cast<unsigned long long>(eng.transfers()->transfers()));
   }
   std::printf("Keeping the vectors on the device removes the per-iteration "
               "PCIe cost —\nthe paper's motivation for running the whole "

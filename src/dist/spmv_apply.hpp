@@ -1,14 +1,15 @@
 // Shared kernel application for the distributed spMVM paths. Both the
 // legacy single-shot dist_spmv and the persistent CommPlan dispatch the
 // local/non-local products through these helpers, so the two paths are
-// bit-identical by construction.
+// bit-identical by construction. Kernels are reached through the
+// execution engine's sanctioned dispatch surface (exec/dispatch.hpp).
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "dist/dist_matrix.hpp"
-#include "sparse/spmv_host.hpp"
+#include "exec/dispatch.hpp"
 
 namespace spmvm::dist::detail {
 
@@ -18,9 +19,9 @@ template <class T>
 inline void apply_local(const DistMatrix<T>& d, std::span<const T> x,
                         std::span<T> y) {
   if (d.local_plan != nullptr)
-    d.local_plan->spmv(x, y);
+    exec::plan_spmv(*d.local_plan, x, y);
   else
-    spmv(d.local, x, y);
+    exec::host_spmv(d.local, x, y);
 }
 
 /// y += nonlocal · halo (the non-local contribution). Plans without a
@@ -30,12 +31,12 @@ inline void apply_nonlocal(const DistMatrix<T>& d, std::span<const T> halo,
                            std::span<T> y) {
   if (d.n_halo == 0) return;
   if (d.nonlocal_plan == nullptr) {
-    spmv_axpby(d.nonlocal, halo, y, T{1}, T{1});
+    exec::host_spmv_axpby(d.nonlocal, halo, y, T{1}, T{1});
     return;
   }
-  if (d.nonlocal_plan->spmv_axpby(halo, y, T{1}, T{1})) return;
+  if (exec::plan_spmv_axpby(*d.nonlocal_plan, halo, y, T{1}, T{1})) return;
   std::vector<T> tmp(static_cast<std::size_t>(d.n_local));
-  d.nonlocal_plan->spmv(halo, std::span<T>(tmp));
+  exec::plan_spmv(*d.nonlocal_plan, halo, std::span<T>(tmp));
   for (std::size_t i = 0; i < tmp.size(); ++i) y[i] += tmp[i];
 }
 

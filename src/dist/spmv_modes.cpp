@@ -8,7 +8,6 @@
 #include "dist/spmv_apply.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "sparse/spmv_host.hpp"
 #include "util/error.hpp"
 
 namespace spmvm::dist {

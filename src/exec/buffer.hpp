@@ -1,0 +1,163 @@
+// Explicit memory spaces for the execution engine (DESIGN.md §13).
+//
+// A Buffer is a typed allocation bound to one Space: plain host memory,
+// or simulated device memory reserved against the card's real capacity
+// (gpusim::DeviceRuntime). Device buffers keep a host staging mirror —
+// the simulator executes kernels on host data — so upload/download are
+// a memcpy plus a modeled PCIe charge.
+//
+// The TransferManager owns *all* PCIe staging: every host↔device byte
+// goes through it, advancing the simulated device clock (Eq. 2 pricing
+// via gpusim's PCIe model), feeding the obs counters
+// (exec.h2d_bytes / exec.d2h_bytes / exec.transfers) and emitting
+// pcie-lane roofline ledger records. Backends also route their kernel
+// launches through it so concurrent hybrid parts serialize access to
+// the shared DeviceRuntime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "gpusim/device_runtime.hpp"
+#include "util/error.hpp"
+
+namespace spmvm::exec {
+
+/// Where a Buffer's bytes live.
+enum class Space : std::uint8_t { host, device };
+
+const char* to_string(Space space);
+
+class TransferManager;
+
+/// Typed allocation in one memory space. Movable handle; device-space
+/// buffers release their DeviceRuntime reservation on destruction.
+template <class T>
+class Buffer {
+ public:
+  Buffer() = default;
+  ~Buffer() { release(); }
+  Buffer(Buffer&& o) noexcept { *this = std::move(o); }
+  Buffer& operator=(Buffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      space_ = o.space_;
+      data_ = std::move(o.data_);
+      allocation_ = o.allocation_;
+      dev_ = std::move(o.dev_);
+      mu_ = std::move(o.mu_);
+      o.allocation_ = -1;
+    }
+    return *this;
+  }
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  Space space() const { return space_; }
+  std::size_t size() const { return data_.size(); }
+  std::size_t bytes() const { return data_.size() * sizeof(T); }
+
+  /// The host-side storage: the data itself for host buffers, the
+  /// staging mirror for device buffers.
+  std::span<T> host_view() { return std::span<T>(data_); }
+  std::span<const T> host_view() const { return std::span<const T>(data_); }
+
+ private:
+  friend class TransferManager;
+  void release() {
+    if (allocation_ >= 0 && dev_) {
+      std::lock_guard<std::mutex> lk(*mu_);
+      dev_->free(allocation_);
+      allocation_ = -1;
+    }
+  }
+
+  Space space_ = Space::host;
+  std::vector<T> data_;
+  int allocation_ = -1;
+  std::shared_ptr<gpusim::DeviceRuntime> dev_;
+  std::shared_ptr<std::mutex> mu_;
+};
+
+/// Owner of the host↔device boundary: allocations, staging, launches.
+/// All DeviceRuntime access is serialized through one mutex so the
+/// hybrid backend's concurrent device part is race-free.
+class TransferManager {
+ public:
+  explicit TransferManager(std::shared_ptr<gpusim::DeviceRuntime> dev);
+
+  const std::shared_ptr<gpusim::DeviceRuntime>& device() const {
+    return dev_;
+  }
+
+  /// Allocate `n` elements in `space`; device allocations throw
+  /// spmvm::Error when the card is full.
+  template <class T>
+  Buffer<T> alloc(Space space, std::size_t n) {
+    Buffer<T> b;
+    b.space_ = space;
+    b.data_.resize(n);
+    if (space == Space::device) {
+      b.allocation_ = alloc_device_bytes(n * sizeof(T));
+      b.dev_ = dev_;
+      b.mu_ = mu_;
+    }
+    return b;
+  }
+
+  /// Reserve raw device bytes for an opaque image (a format's matrix
+  /// footprint). Pair with free_device().
+  int alloc_device_bytes(std::size_t bytes);
+  void free_device(int allocation);
+
+  /// Host→device: copy into the buffer's staging mirror and charge the
+  /// PCIe link (Eq. 2 pricing + pcie ledger lane).
+  template <class T>
+  void upload(std::span<const T> src, Buffer<T>& dst) {
+    SPMVM_REQUIRE(dst.space() == Space::device,
+                  "upload target must be a device buffer");
+    SPMVM_REQUIRE(src.size() <= dst.size(), "upload overflows buffer");
+    std::copy(src.begin(), src.end(), dst.data_.begin());
+    stage_to_device(src.size() * sizeof(T), "vector");
+  }
+
+  /// Device→host: copy out of the staging mirror and charge the link.
+  template <class T>
+  void download(const Buffer<T>& src, std::span<T> dst) {
+    SPMVM_REQUIRE(src.space() == Space::device,
+                  "download source must be a device buffer");
+    SPMVM_REQUIRE(dst.size() >= src.size(), "download overflows span");
+    std::copy(src.data_.begin(), src.data_.end(), dst.begin());
+    stage_to_host(src.size() * sizeof(T), "vector");
+  }
+
+  /// Charge a raw transfer without a Buffer (matrix images, vector
+  /// spans staged around a launch). `what` names the payload in the
+  /// pcie ledger lane ("matrix", "vector").
+  void stage_to_device(std::uint64_t bytes, const char* what);
+  void stage_to_host(std::uint64_t bytes, const char* what);
+
+  /// Account a kernel execution on the shared device clock.
+  void launch(const gpusim::KernelResult& kernel);
+
+  /// Simulated seconds spent in staging through this manager.
+  double transfer_seconds() const;
+  std::uint64_t bytes_to_device() const;
+  std::uint64_t bytes_to_host() const;
+  std::uint64_t transfers() const;
+
+ private:
+  void stage(std::uint64_t bytes, const char* what, bool to_device);
+
+  std::shared_ptr<gpusim::DeviceRuntime> dev_;
+  std::shared_ptr<std::mutex> mu_;
+  std::uint64_t h2d_bytes_ = 0;
+  std::uint64_t d2h_bytes_ = 0;
+  std::uint64_t transfers_ = 0;
+  double seconds_ = 0.0;
+};
+
+}  // namespace spmvm::exec

@@ -1,0 +1,146 @@
+#include "exec/engine.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "perfmodel/balance.hpp"
+
+namespace spmvm::exec {
+
+template <class T>
+Engine<T>::Engine(EngineOptions opt)
+    : opt_(std::move(opt)),
+      tm_(std::make_shared<TransferManager>(
+          std::make_shared<gpusim::DeviceRuntime>(
+              opt_.device, opt_.ecc && opt_.device.has_ecc))) {
+  backends_.push_back(make_host_backend<T>());
+  backends_.push_back(make_gpusim_backend<T>(tm_));
+  backends_.push_back(make_hybrid_backend<T>(tm_, opt_.roofs));
+}
+
+template <class T>
+std::vector<BackendInfo> Engine<T>::list() const {
+  std::vector<BackendInfo> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b->info());
+  return out;
+}
+
+template <class T>
+Backend<T>* Engine<T>::find(std::string_view name) const {
+  for (const auto& b : backends_)
+    if (name == b->info().name) return b.get();
+  return nullptr;
+}
+
+template <class T>
+Backend<T>& Engine<T>::at(std::string_view name) const {
+  Backend<T>* b = find(name);
+  if (b == nullptr) {
+    std::string known;
+    for (const auto& e : backends_) {
+      known += e->info().name;
+      known += ", ";
+    }
+    throw Error("unknown backend '" + std::string(name) + "'; registered: " +
+                known + "auto");
+  }
+  return *b;
+}
+
+template <class T>
+std::unique_ptr<BoundSpmv<T>> Engine<T>::bind(
+    std::string_view backend, const Csr<T>& a, std::string_view format,
+    const formats::PlanOptions& opts, const LaunchOptions& launch) {
+  if (backend == "auto") {
+    const BackendChoice choice = select_backend(a);
+    return at(choice.chosen).bind(a, format, opts, launch);
+  }
+  return at(backend).bind(a, format, opts, launch);
+}
+
+template <class T>
+std::unique_ptr<BoundSpmv<T>> Engine<T>::bind_plan(
+    std::string_view backend,
+    std::shared_ptr<const formats::FormatPlan<T>> plan,
+    const LaunchOptions& launch) {
+  SPMVM_REQUIRE(plan != nullptr, "cannot bind a null plan");
+  if (backend == "auto") {
+    const BackendChoice choice =
+        select_backend(plan->n_rows(), plan->n_cols(), plan->nnz());
+    return at(choice.chosen).bind_plan(std::move(plan), launch);
+  }
+  return at(backend).bind_plan(std::move(plan), launch);
+}
+
+template <class T>
+BackendChoice Engine<T>::select_backend(const Csr<T>& a) const {
+  return select_backend(a.n_rows, a.n_cols, a.nnz());
+}
+
+template <class T>
+BackendChoice Engine<T>::select_backend(index_t n_rows, index_t n_cols,
+                                        offset_t nnz) const {
+  BackendChoice c;
+  if (nnz <= 0 || n_rows <= 0) {
+    c.chosen = "host";
+    return c;
+  }
+  // Eq. 1 at ideal α bounds the kernel on either side of the link;
+  // Eq. 2 adds the per-product vector staging for any device
+  // involvement; the hybrid bound assumes the ideal row split over the
+  // combined bandwidth, with only the device-share result downloaded.
+  const double s = static_cast<double>(sizeof(T));
+  const double nnzr =
+      static_cast<double>(nnz) / static_cast<double>(n_rows);
+  const double balance =
+      perfmodel::code_balance(sizeof(T), perfmodel::alpha_ideal(nnzr), nnzr);
+  const double flops = 2.0 * static_cast<double>(nnz);
+  const double bytes = flops * balance;
+  const double bwh =
+      opt_.roofs.bw_gbs[static_cast<int>(obs::RoofLane::host)] * 1e9;
+  const double bwd =
+      opt_.roofs.bw_gbs[static_cast<int>(obs::RoofLane::device)] * 1e9;
+  const double bwp =
+      opt_.roofs.bw_gbs[static_cast<int>(obs::RoofLane::pcie)] * 1e9;
+  const double lat = opt_.device.pcie_latency_s;
+
+  c.host_seconds = bytes / bwh;
+  c.gpusim_seconds =
+      bytes / bwd + 2.0 * lat +
+      static_cast<double>(n_rows + n_cols) * s / bwp;
+  const double f = bwd / (bwd + bwh);
+  c.hybrid_device_share = f;
+  c.hybrid_seconds =
+      bytes / (bwh + bwd) + 2.0 * lat +
+      (static_cast<double>(n_cols) + f * static_cast<double>(n_rows)) * s /
+          bwp;
+
+  // Deterministic tie-break: host < gpusim < hybrid.
+  c.chosen = "host";
+  double best = c.host_seconds;
+  if (c.gpusim_seconds < best) {
+    best = c.gpusim_seconds;
+    c.chosen = "gpusim";
+  }
+  if (c.hybrid_seconds < best) c.chosen = "hybrid";
+  return c;
+}
+
+template <class T>
+Engine<T>& engine() {
+  static Engine<T> e;
+  return e;
+}
+
+bool is_backend_name(std::string_view name) {
+  return name == "host" || name == "gpusim" || name == "hybrid" ||
+         name == "auto";
+}
+
+template class Engine<float>;
+template class Engine<double>;
+template Engine<float>& engine<float>();
+template Engine<double>& engine<double>();
+
+}  // namespace spmvm::exec

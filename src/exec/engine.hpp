@@ -1,0 +1,116 @@
+// The execution engine: the registry of backends (DESIGN.md §13).
+//
+// One Engine owns one simulated device, the TransferManager guarding
+// it, and the three backends — host, gpusim, hybrid — plus the `auto`
+// pseudo-backend that picks among them with the paper's balance model:
+// Eq. 1 bounds the kernel on either side of the PCIe link, Eq. 2 adds
+// the per-product vector staging, and the hybrid bound assumes the
+// ideal row split over the combined host+device bandwidth. The choice
+// is purely model-driven and deterministic (no probing), mirroring the
+// paper's Sec. III argument for when a GPGPU (or a CPU+GPU split) pays
+// off at all.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/backend.hpp"
+#include "exec/buffer.hpp"
+#include "gpusim/device_spec.hpp"
+#include "obs/roofline.hpp"
+
+namespace spmvm::exec {
+
+struct EngineOptions {
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::tesla_c2070();
+  bool ecc = true;
+  /// Bandwidth roofs steering the hybrid row split and the `auto`
+  /// backend choice (env-overridable via SPMVM_*_BW_GBS).
+  obs::RooflineSpec roofs = obs::RooflineSpec::from_env();
+};
+
+/// Outcome of the Eq. 1/Eq. 2 backend selection: modeled seconds per
+/// product on each backend, and the winner.
+struct BackendChoice {
+  std::string chosen;
+  double host_seconds = 0.0;
+  double gpusim_seconds = 0.0;
+  double hybrid_seconds = 0.0;
+  /// Device nnz share the hybrid bound assumed.
+  double hybrid_device_share = 0.0;
+};
+
+// Backend factories (backends.cpp). The hybrid backend composes the
+// other two, so it takes both.
+template <class T>
+std::unique_ptr<Backend<T>> make_host_backend();
+template <class T>
+std::unique_ptr<Backend<T>> make_gpusim_backend(
+    std::shared_ptr<TransferManager> tm);
+template <class T>
+std::unique_ptr<Backend<T>> make_hybrid_backend(
+    std::shared_ptr<TransferManager> tm, const obs::RooflineSpec& roofs);
+
+template <class T>
+class Engine {
+ public:
+  explicit Engine(EngineOptions opt = {});
+
+  /// Registered backends, registration order (host, gpusim, hybrid).
+  std::vector<BackendInfo> list() const;
+
+  /// Backend by exact name; nullptr when unknown ("auto" is resolved by
+  /// bind(), not a registered backend).
+  Backend<T>* find(std::string_view name) const;
+
+  /// Backend by name, throwing spmvm::Error (listing what exists) for
+  /// unknown names.
+  Backend<T>& at(std::string_view name) const;
+
+  /// Build `format` from `a` and bind it to `backend` ("auto" selects
+  /// via select_backend).
+  std::unique_ptr<BoundSpmv<T>> bind(std::string_view backend,
+                                     const Csr<T>& a,
+                                     std::string_view format = "csr",
+                                     const formats::PlanOptions& opts = {},
+                                     const LaunchOptions& launch = {});
+
+  /// Bind an already-built plan ("auto" selects on the recovered CSR
+  /// shape — prefer bind() when the matrix is at hand).
+  std::unique_ptr<BoundSpmv<T>> bind_plan(
+      std::string_view backend,
+      std::shared_ptr<const formats::FormatPlan<T>> plan,
+      const LaunchOptions& launch = {});
+
+  /// The deterministic Eq. 1/Eq. 2 model choice for `a`.
+  BackendChoice select_backend(const Csr<T>& a) const;
+  BackendChoice select_backend(index_t n_rows, index_t n_cols,
+                               offset_t nnz) const;
+
+  const EngineOptions& options() const { return opt_; }
+  const std::shared_ptr<TransferManager>& transfers() const { return tm_; }
+
+ private:
+  EngineOptions opt_;
+  std::shared_ptr<TransferManager> tm_;
+  std::vector<std::unique_ptr<Backend<T>>> backends_;
+};
+
+/// The process-wide engine with default options — what the operator
+/// factories and benches use when nobody manages device state
+/// explicitly. Created on first use.
+template <class T>
+Engine<T>& engine();
+
+/// True when `name` is a valid --backend argument (a registered backend
+/// or "auto").
+bool is_backend_name(std::string_view name);
+
+extern template class Engine<float>;
+extern template class Engine<double>;
+extern template Engine<float>& engine<float>();
+extern template Engine<double>& engine<double>();
+
+}  // namespace spmvm::exec

@@ -83,7 +83,7 @@ struct AutoChoice {
 /// One matrix held in one storage format. Basis convention: when
 /// permutation() is non-null the plan's kernels work in the permuted
 /// basis — spmv computes y_perm = A_perm·x(_perm) exactly like the
-/// underlying format kernels (see sparse/spmv_host.hpp). Callers that
+/// underlying format kernels (the host-kernel layer in src/sparse). Callers that
 /// need the original basis carry vectors across with the handle.
 template <class T>
 class FormatPlan {

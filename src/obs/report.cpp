@@ -347,4 +347,21 @@ bool consume_json_flag(int* argc, char** argv, std::string* path,
   return consume_value_flag(argc, argv, "--json", path, err);
 }
 
+bool consume_backend_flag(int* argc, char** argv, std::string* backend,
+                          std::string* err) {
+  std::string value;
+  if (!consume_value_flag(argc, argv, "--backend", &value, err)) return false;
+  if (value.empty()) return true;  // flag absent: keep the caller's default
+  // The name set mirrors exec::is_backend_name; obs sits below exec in
+  // the link order, so the list is spelled out here.
+  if (value != "host" && value != "gpusim" && value != "hybrid" &&
+      value != "auto") {
+    *err = "unknown backend '" + value +
+           "' (expected host, gpusim, hybrid or auto)";
+    return false;
+  }
+  *backend = value;
+  return true;
+}
+
 }  // namespace spmvm::obs

@@ -55,4 +55,12 @@ bool consume_switch(int* argc, char** argv, const char* flag);
 bool consume_json_flag(int* argc, char** argv, std::string* path,
                        std::string* err);
 
+/// The benches' common `--backend <name>` flag: consume_value_flag for
+/// "--backend", validated against the exec engine's backend names
+/// (host, gpusim, hybrid) plus "auto". *backend is left untouched when
+/// the flag does not occur — initialize it with the caller's default.
+/// Returns false with *err set for a missing or unknown value.
+bool consume_backend_flag(int* argc, char** argv, std::string* backend,
+                          std::string* err);
+
 }  // namespace spmvm::obs

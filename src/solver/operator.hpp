@@ -3,11 +3,16 @@
 // name, csr) resolves any registered format — including row-sorting ones,
 // which keep the solver entirely in the permuted basis, the paper's
 // recommended usage where permutation happens only before and after the
-// iteration (Sec. II-A).
+// iteration (Sec. II-A). Execution backends enter through the exec
+// engine: make_operator(bound) wraps any exec::BoundSpmv, so a solver
+// can iterate on the host, the simulated GPGPU, or the hybrid CPU+GPU
+// split without knowing which. All kernel dispatch goes through the
+// exec layer (exec/dispatch.hpp) — solvers never name kernel entry
+// points.
 //
 // Operators also expose the fused update y = β·y + α·A·x; formats with a
-// native spmv_axpby kernel do it in one matrix pass, everything else
-// falls back to apply + a BLAS-1 sweep over an internal scratch vector.
+// native fused kernel do it in one matrix pass, everything else falls
+// back to apply + a BLAS-1 sweep over an internal scratch vector.
 #pragma once
 
 #include <functional>
@@ -16,9 +21,10 @@
 #include <string_view>
 #include <vector>
 
+#include "exec/backend.hpp"
+#include "exec/dispatch.hpp"
 #include "formats/registry.hpp"
 #include "sparse/csr.hpp"
-#include "sparse/spmv_host.hpp"
 #include "util/error.hpp"
 
 namespace spmvm::solver {
@@ -80,10 +86,10 @@ Operator<T> make_operator(std::shared_ptr<const Csr<T>> a, int n_threads = 1) {
   return Operator<T>(
       n,
       [a, n_threads](std::span<const T> x, std::span<T> y) {
-        spmv(*a, x, y, n_threads);
+        exec::host_spmv(*a, x, y, n_threads);
       },
       [a, n_threads](std::span<const T> x, std::span<T> y, T alpha, T beta) {
-        spmv_axpby(*a, x, y, alpha, beta, n_threads);
+        exec::host_spmv_axpby(*a, x, y, alpha, beta, n_threads);
       });
 }
 
@@ -104,14 +110,32 @@ Operator<T> make_operator(std::shared_ptr<const formats::FormatPlan<T>> plan,
   if (plan->info().native_axpby)
     axpby = [plan, n_threads](std::span<const T> x, std::span<T> y, T alpha,
                               T beta) {
-      plan->spmv_axpby(x, y, alpha, beta, n_threads);
+      exec::plan_spmv_axpby(*plan, x, y, alpha, beta, n_threads);
     };
   return Operator<T>(
       n,
       [plan, n_threads](std::span<const T> x, std::span<T> y) {
-        plan->spmv(x, y, n_threads);
+        exec::plan_spmv(*plan, x, y, n_threads);
       },
       std::move(axpby));
+}
+
+/// Operator over an exec-engine binding: the solver iterates on
+/// whatever backend the bound product was compiled for (host, gpusim,
+/// hybrid). The bound handle mutates per apply (device clocks, ledger,
+/// scratch), so one Operator must not be applied concurrently.
+template <class T>
+Operator<T> make_operator(std::shared_ptr<exec::BoundSpmv<T>> bound) {
+  SPMVM_REQUIRE(bound != nullptr, "cannot wrap a null binding");
+  SPMVM_REQUIRE(bound->n_rows() == bound->n_cols(),
+                "solvers need a square operator");
+  const index_t n = bound->n_rows();
+  return Operator<T>(
+      n,
+      [bound](std::span<const T> x, std::span<T> y) { bound->apply(x, y); },
+      [bound](std::span<const T> x, std::span<T> y, T alpha, T beta) {
+        bound->apply_axpby(x, y, alpha, beta);
+      });
 }
 
 /// Build `format` from `a` through the registry and wrap it as an
