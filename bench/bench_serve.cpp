@@ -1,0 +1,311 @@
+// Load generator for the spMVM serving layer (DESIGN.md §14).
+//
+// Drives a serve::Server with one of two client models and reports
+// throughput, SLO attainment and the batch-width distribution:
+//
+//   closed loop (--mode closed): --clients threads each keep exactly one
+//     request outstanding for --requests rounds — throughput tracks
+//     service capacity, the queue stays short.
+//   open loop (--mode open): one dispatcher submits at --qps for
+//     --duration seconds regardless of completions — the overload
+//     regime where admission control must shed instead of queueing
+//     without bound. --poisson draws exponential inter-arrival gaps
+//     (Poisson arrivals) instead of a fixed period.
+//
+//   bench_serve --mode open --qps 5000 --duration 2 --slo-ms 5
+//               --backend auto --json serve.json [--trace trace.json]
+//
+// Latency quantiles come from the serve.latency.* exponential-bucket
+// histograms (exact nearest-rank over power-of-two buckets), the batch
+// widths from the serve.batch_width histogram.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "matgen/suite.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "serve/server.hpp"
+#include "util/ascii.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace spmvm;
+
+namespace {
+
+void print_usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--mode <closed|open>] [--backend <name>] [--format <f>]\n"
+      "          [--matrix <DLR1|DLR2|HMEp|sAMG|UHBR>] [--scale <s>]\n"
+      "          [--workers <n>] [--max-batch <k>] [--queue-cap <n>]\n"
+      "          [--watermark <n>] [--clients <n>] [--requests <n>]\n"
+      "          [--qps <rate>] [--duration <s>] [--poisson] [--seed <n>]\n"
+      "          [--slo-ms <ms>] [--json <path>] [--trace <path>]\n"
+      "env: SPMVM_SERVE_* (see DESIGN.md section 14)\n",
+      argv0);
+}
+
+struct LoadResult {
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t other = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t within_slo = 0;
+};
+
+/// Closed loop: `clients` threads, one outstanding request each.
+LoadResult run_closed(serve::Server& server, const Csr<double>& a,
+                      int clients, int requests, double slo_s) {
+  LoadResult res;
+  std::atomic<std::uint64_t> ok{0}, shed{0}, other{0}, within{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(0x5EED + static_cast<std::uint64_t>(c));
+      std::vector<double> x(static_cast<std::size_t>(a.n_cols));
+      for (int i = 0; i < requests; ++i) {
+        for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+        serve::Ticket t = server.submit("m", x);
+        const serve::Response r = t.get();
+        if (r.status == serve::RequestStatus::ok) {
+          ok.fetch_add(1);
+          if (slo_s <= 0.0 || r.total_seconds <= slo_s) within.fetch_add(1);
+        } else if (r.status == serve::RequestStatus::rejected_full) {
+          shed.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  res.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  res.submitted = static_cast<std::uint64_t>(clients) *
+                  static_cast<std::uint64_t>(requests);
+  res.ok = ok.load();
+  res.shed = shed.load();
+  res.other = other.load();
+  res.within_slo = within.load();
+  return res;
+}
+
+/// Open loop: submit at `qps` for `duration_s`, collect tickets on the
+/// side, resolve them all at the end.
+LoadResult run_open(serve::Server& server, const Csr<double>& a, double qps,
+                    double duration_s, bool poisson, std::uint64_t seed,
+                    double slo_s) {
+  LoadResult res;
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(a.n_cols), 1.0);
+  std::vector<serve::Ticket> tickets;
+  const double mean_gap_us = 1e6 / std::max(1.0, qps);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto next = t0;
+  const auto end = t0 + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(duration_s));
+  while (std::chrono::steady_clock::now() < end) {
+    tickets.push_back(server.submit("m", x));
+    const double gap_us =
+        poisson ? static_cast<double>(rng.exponential_int(mean_gap_us))
+                : mean_gap_us;
+    next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(gap_us * 1e-6));
+    std::this_thread::sleep_until(next);
+  }
+  for (serve::Ticket& t : tickets) {
+    const serve::Response r = t.get();
+    if (r.status == serve::RequestStatus::ok) {
+      ++res.ok;
+      if (slo_s <= 0.0 || r.total_seconds <= slo_s) ++res.within_slo;
+    } else if (r.status == serve::RequestStatus::rejected_full) {
+      ++res.shed;
+    } else {
+      ++res.other;
+    }
+  }
+  res.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  res.submitted = tickets.size();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "closed";
+  std::string matrix_name = "DLR1";
+  std::string json_path, trace_path, err;
+  double scale = 64.0;
+  int clients = 4;
+  int requests = 100;
+  double qps = 2000.0;
+  double duration_s = 1.0;
+  double slo_ms = 0.0;
+  int seed = 0x5EED;
+
+  serve::ServerOptions sopt = serve::ServerOptions::from_env();
+  double max_wait_ms = sopt.max_batch_wait_s * 1e3;
+  // consume_value_flag clears its output when the flag is absent, so
+  // string options with non-empty defaults go through a temporary.
+  std::string mode_arg, matrix_arg, format_arg;
+  if (!obs::consume_json_flag(&argc, argv, &json_path, &err) ||
+      !obs::consume_backend_flag(&argc, argv, &sopt.backend, &err) ||
+      !obs::consume_value_flag(&argc, argv, "--mode", &mode_arg, &err) ||
+      !obs::consume_value_flag(&argc, argv, "--matrix", &matrix_arg, &err) ||
+      !obs::consume_value_flag(&argc, argv, "--format", &format_arg, &err) ||
+      !obs::consume_value_flag(&argc, argv, "--trace", &trace_path, &err) ||
+      !obs::consume_double_flag(&argc, argv, "--scale", &scale, &err) ||
+      !obs::consume_int_flag(&argc, argv, "--workers", &sopt.n_workers,
+                             &err) ||
+      !obs::consume_int_flag(&argc, argv, "--max-batch", &sopt.max_batch,
+                             &err) ||
+      !obs::consume_int_flag(&argc, argv, "--queue-cap",
+                             &sopt.queue_capacity, &err) ||
+      !obs::consume_int_flag(&argc, argv, "--watermark",
+                             &sopt.admit_watermark, &err) ||
+      !obs::consume_double_flag(&argc, argv, "--max-wait-ms", &max_wait_ms,
+                                &err) ||
+      !obs::consume_int_flag(&argc, argv, "--clients", &clients, &err) ||
+      !obs::consume_int_flag(&argc, argv, "--requests", &requests, &err) ||
+      !obs::consume_double_flag(&argc, argv, "--qps", &qps, &err) ||
+      !obs::consume_double_flag(&argc, argv, "--duration", &duration_s,
+                                &err) ||
+      !obs::consume_double_flag(&argc, argv, "--slo-ms", &slo_ms, &err) ||
+      !obs::consume_int_flag(&argc, argv, "--seed", &seed, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 2;
+  }
+  const bool poisson = obs::consume_switch(&argc, argv, "--poisson");
+  if (!mode_arg.empty()) mode = mode_arg;
+  if (!matrix_arg.empty()) matrix_name = matrix_arg;
+  if (!format_arg.empty()) sopt.format = format_arg;
+  sopt.max_batch_wait_s = max_wait_ms / 1e3;
+  if (argc > 1 || (mode != "closed" && mode != "open")) {
+    print_usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    const Csr<double> a = make_named(matrix_name, scale).matrix;
+    obs::reset_metrics();
+    if (!trace_path.empty()) obs::set_tracing(true);
+
+    serve::Server server(sopt);
+    server.register_matrix("m", a);
+    server.start();
+    std::printf(
+        "bench_serve: %s loop, matrix=%s (%d rows, nnz=%lld), backend=%s, "
+        "workers=%d, max_batch=%d (model k*=%d), queue=%d/%d\n",
+        mode.c_str(), matrix_name.c_str(), a.n_rows,
+        static_cast<long long>(a.nnz()), sopt.backend.c_str(),
+        server.options().n_workers, server.options().max_batch,
+        server.batch_width("m"), server.options().queue_capacity,
+        server.options().admit_watermark > 0
+            ? server.options().admit_watermark
+            : server.options().queue_capacity);
+
+    const double slo_s = slo_ms * 1e-3;
+    const LoadResult res =
+        mode == "closed"
+            ? run_closed(server, a, clients, requests, slo_s)
+            : run_open(server, a, qps, duration_s, poisson,
+                       static_cast<std::uint64_t>(seed), slo_s);
+    server.shutdown();
+
+    const obs::LatencySnapshot lat =
+        obs::latency_histogram("serve.latency.total").snapshot();
+    const Histogram widths = obs::histogram("serve.batch_width").snapshot();
+    const serve::ServerStats stats = server.stats();
+
+    const double achieved_qps =
+        res.wall_seconds > 0.0
+            ? static_cast<double>(res.ok) / res.wall_seconds
+            : 0.0;
+    const double slo_attainment =
+        res.ok > 0 ? static_cast<double>(res.within_slo) /
+                         static_cast<double>(res.ok)
+                   : 0.0;
+
+    AsciiTable t({"metric", "value"});
+    t.add_row({"submitted", std::to_string(res.submitted)});
+    t.add_row({"ok", std::to_string(res.ok)});
+    t.add_row({"shed (rejected_full)", std::to_string(res.shed)});
+    t.add_row({"other", std::to_string(res.other)});
+    t.add_row({"achieved QPS", fmt(achieved_qps, 1)});
+    t.add_row({"SLO attainment", slo_ms > 0.0 ? fmt(slo_attainment, 4)
+                                              : std::string("(no --slo-ms)")});
+    t.add_row({"latency p50 [us]", fmt(lat.quantile_us(0.5), 0)});
+    t.add_row({"latency p95 [us]", fmt(lat.quantile_us(0.95), 0)});
+    t.add_row({"latency p99 [us]", fmt(lat.quantile_us(0.99), 0)});
+    t.add_row({"batches", std::to_string(stats.batches)});
+    t.add_row({"batch width mean", fmt(widths.mean(), 2)});
+    t.add_row({"batch width max",
+               std::to_string(widths.max_value())});
+    std::printf("%s\n", t.render().c_str());
+
+    if (!json_path.empty()) {
+      obs::BenchReport report;
+      report.binary = "bench_serve";
+      for (auto& [k, v] : obs::machine_fingerprint())
+        report.metadata.emplace_back(k, v);
+      report.metadata.emplace_back("mode", mode);
+      report.metadata.emplace_back("matrix", matrix_name);
+      report.metadata.emplace_back("backend", sopt.backend);
+      const double wall[] = {res.wall_seconds};
+      report.entries.push_back(obs::summarize_samples(
+          "serve/load", wall,
+          {{"submitted", static_cast<double>(res.submitted)},
+           {"ok", static_cast<double>(res.ok)},
+           {"shed", static_cast<double>(res.shed)},
+           {"other", static_cast<double>(res.other)},
+           {"achieved_qps", achieved_qps},
+           {"slo_ms", slo_ms},
+           {"slo_attainment", slo_attainment},
+           {"p50_us", lat.quantile_us(0.5)},
+           {"p95_us", lat.quantile_us(0.95)},
+           {"p99_us", lat.quantile_us(0.99)},
+           {"batches", static_cast<double>(stats.batches)},
+           {"batch_width_mean", widths.mean()},
+           {"batch_width_min",
+            static_cast<double>(widths.min_value())},
+           {"batch_width_max",
+            static_cast<double>(widths.max_value())},
+           {"model_k", static_cast<double>(server.batch_width("m"))}}));
+      if (!report.write(json_path)) {
+        std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+        return 2;
+      }
+      std::printf("report written to %s\n", json_path.c_str());
+    }
+
+    if (!trace_path.empty()) {
+      obs::set_tracing(false);
+      std::ofstream out(trace_path);
+      out << obs::chrome_trace_json(obs::collect(), obs::trace_threads());
+      if (!out) {
+        std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+        return 2;
+      }
+      std::printf("trace written to %s\n", trace_path.c_str());
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

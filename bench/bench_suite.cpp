@@ -98,10 +98,24 @@ int main(int argc, char** argv) {
   std::string err;
   std::string backend = "host";
   if (!obs::consume_json_flag(&argc, argv, &json_path, &err) ||
-      !obs::consume_backend_flag(&argc, argv, &backend, &err)) {
+      !obs::consume_backend_flag(&argc, argv, &backend, &err) ||
+      !obs::consume_value_flag(&argc, argv, "--filter", &filter, &err) ||
+      !obs::consume_value_flag(&argc, argv, "--compare", &baseline_path,
+                               &err) ||
+      !obs::consume_value_flag(&argc, argv, "--gate", &opt.name_filter,
+                               &err) ||
+      !obs::consume_value_flag(&argc, argv, "--trace", &trace_path, &err) ||
+      !obs::consume_value_flag(&argc, argv, "--roofline", &roofline_path,
+                               &err) ||
+      !obs::consume_double_flag(&argc, argv, "--rel-tol", &opt.rel_tol,
+                                &err) ||
+      !obs::consume_double_flag(&argc, argv, "--stddev-k", &opt.stddev_k,
+                                &err)) {
     std::fprintf(stderr, "error: %s\n", err.c_str());
     return 2;
   }
+  smoke = obs::consume_switch(&argc, argv, "--smoke");
+  list = obs::consume_switch(&argc, argv, "--list");
   if (obs::consume_switch(&argc, argv, "--list-backends")) {
     AsciiTable t({"backend", "device", "description"});
     for (const exec::BackendInfo& b : exec::engine<double>().list())
@@ -112,50 +126,25 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto value_of = [&](int& i, const char* flag) -> const char* {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "error: %s requires a value\n", flag);
-      return nullptr;
-    }
-    return argv[++i];
-  };
+  // --compare-files takes TWO positional values, which the shared
+  // consume_* helpers don't model; strip it by hand, then any argv
+  // remainder is an unknown flag.
   for (int i = 1; i < argc; ++i) {
-    const char* a = argv[i];
-    const char* v = nullptr;
-    if (std::strcmp(a, "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(a, "--list") == 0) {
-      list = true;
-    } else if (std::strcmp(a, "--filter") == 0) {
-      if ((v = value_of(i, a)) == nullptr) return 2;
-      filter = v;
-    } else if (std::strcmp(a, "--compare") == 0) {
-      if ((v = value_of(i, a)) == nullptr) return 2;
-      baseline_path = v;
-    } else if (std::strcmp(a, "--compare-files") == 0) {
-      if ((v = value_of(i, a)) == nullptr) return 2;
-      cmp_a = v;
-      if ((v = value_of(i, a)) == nullptr) return 2;
-      cmp_b = v;
-    } else if (std::strcmp(a, "--rel-tol") == 0) {
-      if ((v = value_of(i, a)) == nullptr) return 2;
-      opt.rel_tol = std::atof(v);
-    } else if (std::strcmp(a, "--stddev-k") == 0) {
-      if ((v = value_of(i, a)) == nullptr) return 2;
-      opt.stddev_k = std::atof(v);
-    } else if (std::strcmp(a, "--gate") == 0) {
-      if ((v = value_of(i, a)) == nullptr) return 2;
-      opt.name_filter = v;
-    } else if (std::strcmp(a, "--trace") == 0) {
-      if ((v = value_of(i, a)) == nullptr) return 2;
-      trace_path = v;
-    } else if (std::strcmp(a, "--roofline") == 0) {
-      if ((v = value_of(i, a)) == nullptr) return 2;
-      roofline_path = v;
-    } else {
-      print_usage(argv[0]);
+    if (std::strcmp(argv[i], "--compare-files") != 0) continue;
+    if (i + 2 >= argc) {
+      std::fprintf(stderr, "error: --compare-files requires two paths\n");
       return 2;
     }
+    cmp_a = argv[i + 1];
+    cmp_b = argv[i + 2];
+    for (int j = i + 3; j < argc; ++j) argv[j - 3] = argv[j];
+    argc -= 3;
+    break;
+  }
+  if (argc > 1) {
+    std::fprintf(stderr, "error: unknown argument '%s'\n", argv[1]);
+    print_usage(argv[0]);
+    return 2;
   }
 
   if (list) {

@@ -1,5 +1,6 @@
 #include "suite_scenarios.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -7,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/spmmv.hpp"
 #include "dist/cluster_model.hpp"
 #include "dist/comm_plan.hpp"
 #include "exec/dispatch.hpp"
@@ -20,6 +22,8 @@
 #include "perfmodel/balance.hpp"
 #include "perfmodel/model_eval.hpp"
 #include "perfmodel/pcie_impact.hpp"
+#include "serve/batcher.hpp"
+#include "serve/server.hpp"
 #include "util/timer.hpp"
 
 namespace spmvm::suite {
@@ -447,6 +451,92 @@ void record_deviation_table(obs::BenchReport& report) {
   }
 }
 
+// ---- serve: batching model, block staging, admission accounting ----------
+
+void run_serve(const SuiteConfig&, obs::BenchReport& report) {
+  // Model-chosen batch widths per Table I matrix: the Eq. 1 block
+  // extension walked with the server's default gain threshold.
+  for (const char* name : {"DLR1", "HMEp", "sAMG"}) {
+    const auto nm = make_named(name, 64);
+    const double nnzr =
+        static_cast<double>(nm.matrix.nnz()) /
+        static_cast<double>(std::max<index_t>(1, nm.matrix.n_rows));
+    const double alpha = perfmodel::alpha_ideal(nnzr);
+    report.entries.push_back(obs::summarize_samples(
+        std::string("serve/width_") + name, {},
+        {{"nnzr", nnzr},
+         {"target_k_max8",
+          static_cast<double>(serve::target_batch_width(sizeof(double),
+                                                        alpha, nnzr, 8,
+                                                        0.02))},
+         {"target_k_max32",
+          static_cast<double>(serve::target_batch_width(sizeof(double),
+                                                        alpha, nnzr, 32,
+                                                        0.02))},
+         {"balance_k1", spmmv_code_balance(sizeof(double), alpha, nnzr, 1)},
+         {"balance_k8",
+          spmmv_code_balance(sizeof(double), alpha, nnzr, 8)}}));
+  }
+
+  // Block-launch PCIe staging on a private engine: one k-wide launch
+  // stages n_cols·k up and n_rows·k down — exact byte deltas, no noise.
+  exec::Engine<double> eng;
+  const auto a = make_named("DLR1", 64).matrix;
+  formats::PlanOptions fopt;
+  fopt.probe = false;
+  const auto bound = eng.bind("gpusim", a, "pjds", fopt);
+  for (const int k : {1, 2, 8}) {
+    std::vector<double> x(static_cast<std::size_t>(a.n_cols) *
+                              static_cast<std::size_t>(k),
+                          1.0);
+    std::vector<double> y(static_cast<std::size_t>(a.n_rows) *
+                          static_cast<std::size_t>(k));
+    const std::uint64_t h2d0 = eng.transfers()->bytes_to_device();
+    const std::uint64_t d2h0 = eng.transfers()->bytes_to_host();
+    bound->apply_block(std::span<const double>(x), std::span<double>(y), k);
+    report.entries.push_back(obs::summarize_samples(
+        std::string("serve/block_k") + std::to_string(k), {},
+        {{"h2d_bytes", static_cast<double>(eng.transfers()->bytes_to_device() -
+                                           h2d0)},
+         {"d2h_bytes", static_cast<double>(eng.transfers()->bytes_to_host() -
+                                           d2h0)}}));
+  }
+
+  // Admission accounting on a synchronous submission sequence: five
+  // requests against a watermark of two while the workers are still
+  // parked — two admitted, three shed — then a late start serves the
+  // backlog as one width-2 block.
+  serve::ServerOptions sopt;
+  sopt.backend = "host";
+  sopt.n_workers = 1;
+  sopt.queue_capacity = 4;
+  sopt.admit_watermark = 2;
+  sopt.max_batch = 8;
+  sopt.max_batch_wait_s = 0.0;
+  serve::Server server(sopt);
+  server.register_matrix("m", a);
+  std::vector<serve::Ticket> tickets;
+  for (int i = 0; i < 5; ++i)
+    tickets.push_back(server.submit(
+        "m", std::vector<double>(static_cast<std::size_t>(a.n_cols), 1.0)));
+  server.start();
+  int max_width = 0;
+  for (auto& t : tickets) {
+    const serve::Response r = t.get();
+    max_width = std::max(max_width, r.batch_width);
+  }
+  server.shutdown();
+  const serve::ServerStats stats = server.stats();
+  report.entries.push_back(obs::summarize_samples(
+      "serve/admission", {},
+      {{"accepted", static_cast<double>(stats.accepted)},
+       {"rejected_full", static_cast<double>(stats.rejected_full)},
+       {"completed", static_cast<double>(stats.completed)},
+       {"batches", static_cast<double>(stats.batches)},
+       {"model_k", static_cast<double>(server.batch_width("m"))},
+       {"max_width", static_cast<double>(max_width)}}));
+}
+
 constexpr Scenario kScenarios[] = {
     {"host_kernels", "measured host spMVM per storage format (sAMG)", false,
      run_host_kernels},
@@ -472,6 +562,10 @@ constexpr Scenario kScenarios[] = {
      "functional halo exchange: per-scheme traffic (deterministic) and "
      "legacy-vs-plan timing",
      false, run_dist_comm},
+    {"serve",
+     "serving layer: model batch widths, block-launch PCIe staging, "
+     "admission accounting (DLR1/HMEp/sAMG)",
+     true, run_serve},
 };
 
 }  // namespace

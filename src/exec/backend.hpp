@@ -75,6 +75,25 @@ class BoundSpmv {
   /// y = A·x (basis per LaunchOptions::basis).
   virtual void apply(std::span<const T> x, std::span<T> y) = 0;
 
+  /// Block-RHS launch Y = A·X for k row-major interleaved vectors
+  /// (x[i*k + v], the core/spmmv layout) — the serving layer's batched
+  /// entry point. Backends route every width, including k = 1, through
+  /// the block kernels, so a coalesced batch is bit-identical to issuing
+  /// its requests one at a time. The default de-interleaves into k
+  /// apply() calls for backends without a block path.
+  virtual void apply_block(std::span<const T> x, std::span<T> y, int k) {
+    check_block(x, y, k);
+    const auto cols = static_cast<std::size_t>(n_cols());
+    const auto rows = static_cast<std::size_t>(n_rows());
+    const auto kk = static_cast<std::size_t>(k);
+    std::vector<T> xv(cols), yv(rows);
+    for (std::size_t v = 0; v < kk; ++v) {
+      for (std::size_t i = 0; i < cols; ++i) xv[i] = x[i * kk + v];
+      apply(std::span<const T>(xv), std::span<T>(yv));
+      for (std::size_t i = 0; i < rows; ++i) y[i * kk + v] = yv[i];
+    }
+  }
+
   /// y = β·y + α·A·x. Backends with a native fused kernel do it in one
   /// matrix pass; the default falls back to apply() + a BLAS-1 sweep
   /// over an internal scratch vector (not safe to call concurrently).
@@ -102,6 +121,14 @@ class BoundSpmv {
     SPMVM_REQUIRE(x.size() >= static_cast<std::size_t>(n_cols()) &&
                       y.size() >= static_cast<std::size_t>(n_rows()),
                   "bound spMVM vectors too small");
+  }
+  void check_block(std::span<const T> x, std::span<T> y, int k) const {
+    SPMVM_REQUIRE(k >= 1 &&
+                      x.size() >= static_cast<std::size_t>(n_cols()) *
+                                      static_cast<std::size_t>(k) &&
+                      y.size() >= static_cast<std::size_t>(n_rows()) *
+                                      static_cast<std::size_t>(k),
+                  "bound spMMV block too small for k interleaved vectors");
   }
 
  private:

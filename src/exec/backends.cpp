@@ -20,6 +20,7 @@
 #include <cmath>
 #include <string>
 
+#include "core/spmmv.hpp"
 #include "exec/buffer.hpp"
 #include "exec/engine.hpp"
 #include "formats/registry.hpp"
@@ -58,18 +59,20 @@ Csr<T> sub_csr(const Csr<T>& a, index_t r0, index_t r1) {
   return s;
 }
 
-/// Eq. 1 streamed bytes of one product over a plan's stored footprint:
-/// matrix image + ideal RHS gather + the result update.
+/// Eq. 1 streamed bytes of one k-wide product over a plan's stored
+/// footprint: the matrix image streams once, the RHS gather and result
+/// update scale with the block width.
 template <class T>
-double streamed_bytes(const formats::FormatPlan<T>& plan) {
+double streamed_bytes(const formats::FormatPlan<T>& plan, int k = 1) {
   const double s = static_cast<double>(sizeof(T));
+  const auto kd = static_cast<double>(k);
   const auto nnz = static_cast<double>(plan.nnz());
   const auto rows = static_cast<double>(plan.n_rows());
   double bytes =
       static_cast<double>(plan.footprint().total_bytes(sizeof(T))) +
-      2.0 * s * rows;
+      2.0 * s * rows * kd;
   if (nnz > 0.0 && rows > 0.0)
-    bytes += s * perfmodel::alpha_ideal(nnz / rows) * nnz;
+    bytes += s * perfmodel::alpha_ideal(nnz / rows) * nnz * kd;
   return bytes;
 }
 
@@ -107,6 +110,38 @@ class HostBound final : public BoundSpmv<T> {
     yperm_.resize(static_cast<std::size_t>(plan_->n_rows()));
     plan_->spmv(xin, std::span<T>(yperm_), launch_.n_threads);
     perm->from_permuted(std::span<const T>(yperm_), y);
+  }
+
+  void apply_block(std::span<const T> x, std::span<T> y, int k) override {
+    this->check_block(x, y, k);
+    const Permutation* perm = plan_->permutation();
+    if (launch_.basis == Basis::plan || perm == nullptr) {
+      plan_->spmmv(x, y, k, launch_.n_threads);
+      return;
+    }
+    // Original basis: the Permutation handle carries single vectors, so
+    // blocks move whole k-wide row groups across the row permutation.
+    const auto kk = static_cast<std::size_t>(k);
+    const auto cols = static_cast<std::size_t>(plan_->n_cols());
+    const auto rows = static_cast<std::size_t>(plan_->n_rows());
+    std::span<const T> xin = x;
+    if (plan_->columns_permuted()) {
+      xperm_.resize(cols * kk);
+      for (std::size_t r = 0; r < cols; ++r) {
+        const auto o = static_cast<std::size_t>(
+            perm->old_of(static_cast<index_t>(r)));
+        for (std::size_t v = 0; v < kk; ++v)
+          xperm_[r * kk + v] = x[o * kk + v];
+      }
+      xin = std::span<const T>(xperm_);
+    }
+    yperm_.resize(rows * kk);
+    plan_->spmmv(xin, std::span<T>(yperm_), k, launch_.n_threads);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto o = static_cast<std::size_t>(
+          perm->old_of(static_cast<index_t>(r)));
+      for (std::size_t v = 0; v < kk; ++v) y[o * kk + v] = yperm_[r * kk + v];
+    }
   }
 
   void apply_axpby(std::span<const T> x, std::span<T> y, T alpha,
@@ -193,7 +228,47 @@ class GpusimBound final : public BoundSpmv<T> {
     if (!launch_.vectors_resident)
       tm_->stage_to_host(
           static_cast<std::uint64_t>(plan_->n_rows()) * sizeof(T), "vector");
-    record_launch();
+    record_launch(estimate_, 1);
+  }
+
+  void apply_block(std::span<const T> x, std::span<T> y, int k) override {
+    numerics_.apply_block(x, y, k);
+    const auto kb = static_cast<std::uint64_t>(k) * sizeof(T);
+    if (!launch_.vectors_resident)
+      tm_->stage_to_device(static_cast<std::uint64_t>(plan_->n_cols()) * kb,
+                           "vector");
+    const gpusim::KernelResult est = block_estimate(k);
+    tm_->launch(est);
+    if (!launch_.vectors_resident)
+      tm_->stage_to_host(static_cast<std::uint64_t>(plan_->n_rows()) * kb,
+                         "vector");
+    record_launch(est, k);
+  }
+
+  /// Eq. 1 extension for k RHS (spmmv_code_balance): the matrix image
+  /// streams once, the vector terms and flops scale with k; timing is
+  /// re-derived from the scaled traffic on the same device roofs.
+  gpusim::KernelResult block_estimate(int k) const {
+    if (k <= 1) return estimate_;
+    const auto& dev = tm_->device()->spec();
+    gpusim::KernelResult r = estimate_;
+    const auto kk = static_cast<std::uint64_t>(k);
+    r.stats.flops *= kk;
+    r.stats.rhs_bytes *= kk;
+    r.stats.stream_bytes *= kk;
+    r.stats.useful_lane_steps *= kk;
+    r.stats.total_lane_steps *= kk;
+    r.mem_seconds = static_cast<double>(r.stats.dram_bytes()) /
+                    dev.bandwidth_bytes(tm_->device()->ecc());
+    r.issue_seconds = estimate_.issue_seconds * static_cast<double>(k);
+    r.seconds =
+        std::max(r.mem_seconds, r.issue_seconds) + dev.kernel_launch_s;
+    if (r.seconds > 0.0)
+      r.gflops = static_cast<double>(r.stats.flops) / r.seconds / 1e9;
+    if (r.stats.flops > 0)
+      r.code_balance = static_cast<double>(r.stats.dram_bytes()) /
+                       static_cast<double>(r.stats.flops);
+    return r;
   }
 
  private:
@@ -222,27 +297,28 @@ class GpusimBound final : public BoundSpmv<T> {
     return r;
   }
 
-  void record_launch() const {
+  void record_launch(const gpusim::KernelResult& est, int k) const {
     if (!obs::ledger_enabled()) return;
     const auto nnz = static_cast<std::uint64_t>(plan_->nnz());
     const auto rows = static_cast<double>(plan_->n_rows());
     if (nnz == 0 || rows <= 0.0) return;
     // Same convention as the kernel simulator's own device-lane record:
-    // predicted is Eq. 1 at *measured* α, so ledger efficiency equals
-    // gflops_sim / gflops_model per launch.
+    // predicted is Eq. 1 at *measured* α (extended to k RHS for batched
+    // launches), so ledger efficiency equals gflops_sim / gflops_model
+    // per launch. spmmv_code_balance(…, 1) is exactly Eq. 1.
     obs::WorkDesc w;
-    w.bytes = estimate_.stats.dram_bytes();
-    w.flops = estimate_.stats.flops;
+    w.bytes = est.stats.dram_bytes();
+    w.flops = est.stats.flops;
     w.nnz = nnz;
-    w.alpha = estimate_.stats.measured_alpha(sizeof(T));
+    w.alpha = est.stats.measured_alpha(sizeof(T));
     const double gflops_model = perfmodel::bandwidth_bound_gflops(
         tm_->device()->spec().bandwidth_bytes(tm_->device()->ecc()) / 1e9,
-        perfmodel::code_balance(sizeof(T), w.alpha,
-                                static_cast<double>(nnz) / rows));
+        spmmv_code_balance(sizeof(T), w.alpha,
+                           static_cast<double>(nnz) / rows, k));
     w.predicted_seconds =
         static_cast<double>(w.flops) / (gflops_model * 1e9);
-    obs::ledger_record(obs::RoofLane::device, plan_->info().name, "launch",
-                       estimate_.seconds, w);
+    obs::ledger_record(obs::RoofLane::device, plan_->info().name,
+                       k > 1 ? "block" : "launch", est.seconds, w);
   }
 
   std::shared_ptr<TransferManager> tm_;
@@ -293,7 +369,8 @@ class HybridBound final : public BoundSpmv<T> {
         n_cols_(a.n_cols),
         nnz_(a.nnz()),
         format_(format),
-        launch_(launch) {
+        launch_(launch),
+        roofs_(roofs) {
     double f = launch.device_share;
     if (f < 0.0) {
       // The paper's static split: each side gets work proportional to
@@ -337,7 +414,7 @@ class HybridBound final : public BoundSpmv<T> {
                                        opts),
           part);
     }
-    predicted_ = overlap_bound(roofs);
+    predicted_ = overlap_bound(1);
   }
 
   const BackendInfo& backend() const override { return kHybridInfo; }
@@ -378,48 +455,79 @@ class HybridBound final : public BoundSpmv<T> {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    record_overlap(wall);
+    record_overlap(wall, 1);
+  }
+
+  void apply_block(std::span<const T> x, std::span<T> y, int k) override {
+    this->check_block(x, y, k);
+    SPMVM_TRACE_SPAN("exec/hybrid",
+                     static_cast<std::uint64_t>(nnz_) *
+                         static_cast<std::uint64_t>(k));
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto kk = static_cast<std::size_t>(k);
+    // Row-major-by-vector layout keeps the row split contiguous in Y:
+    // rows [0, split) are the block's first split·k values.
+    auto yfull = y.first(static_cast<std::size_t>(n_rows_) * kk);
+    if (dev_part_ && host_part_) {
+      auto ydev = yfull.first(static_cast<std::size_t>(split_) * kk);
+      auto yhost = yfull.subspan(static_cast<std::size_t>(split_) * kk);
+      ThreadPool::instance().run(2, [&](int p) {
+        if (p == 0)
+          dev_part_->apply_block(x, ydev, k);
+        else
+          host_part_->apply_block(x, yhost, k);
+      });
+    } else if (dev_part_) {
+      dev_part_->apply_block(x, yfull, k);
+    } else if (host_part_) {
+      host_part_->apply_block(x, yfull, k);
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    record_overlap(wall, k);
   }
 
  private:
-  /// Ideal-overlap lower bound: both parts start together, the bound is
-  /// the slower of the host roof bound and the device model (kernel +
-  /// per-product staging).
-  double overlap_bound(const obs::RooflineSpec& roofs) const {
+  /// Ideal-overlap lower bound for a k-wide launch: both parts start
+  /// together, the bound is the slower of the host roof bound and the
+  /// device model (kernel + per-product staging), each at block width k.
+  double overlap_bound(int k) const {
     double host_s = 0.0;
     if (host_part_)
       host_s =
-          streamed_bytes(*host_part_->plan()) /
-          (roofs.bw_gbs[static_cast<int>(obs::RoofLane::host)] * 1e9);
+          streamed_bytes(*host_part_->plan(), k) /
+          (roofs_.bw_gbs[static_cast<int>(obs::RoofLane::host)] * 1e9);
     double dev_s = 0.0;
     if (dev_part_) {
-      dev_s = dev_part_->kernel_estimate().seconds;
+      dev_s = dev_part_->block_estimate(k).seconds;
       if (!launch_.vectors_resident) {
-        const double staged =
-            static_cast<double>(n_cols_ + split_) * sizeof(T);
+        const double staged = static_cast<double>(n_cols_ + split_) *
+                              static_cast<double>(k) * sizeof(T);
         dev_s += staged /
-                 (roofs.bw_gbs[static_cast<int>(obs::RoofLane::pcie)] * 1e9);
+                 (roofs_.bw_gbs[static_cast<int>(obs::RoofLane::pcie)] * 1e9);
       }
     }
     return std::max(host_s, dev_s);
   }
 
-  void record_overlap(double wall_seconds) const {
+  void record_overlap(double wall_seconds, int k) const {
     if (!obs::ledger_enabled() || nnz_ == 0) return;
     obs::WorkDesc w;
     double bytes = 0.0;
-    if (host_part_) bytes += streamed_bytes(*host_part_->plan());
+    if (host_part_) bytes += streamed_bytes(*host_part_->plan(), k);
     if (dev_part_)
       bytes += static_cast<double>(
-          dev_part_->kernel_estimate().stats.dram_bytes());
+          dev_part_->block_estimate(k).stats.dram_bytes());
     w.bytes = static_cast<std::uint64_t>(bytes);
-    w.flops = 2 * static_cast<std::uint64_t>(nnz_);
+    w.flops = 2 * static_cast<std::uint64_t>(nnz_) *
+              static_cast<std::uint64_t>(k);
     w.nnz = static_cast<std::uint64_t>(nnz_);
     w.alpha = perfmodel::alpha_ideal(static_cast<double>(nnz_) /
                                      static_cast<double>(n_rows_));
-    w.predicted_seconds = predicted_;
-    obs::ledger_record(obs::RoofLane::host, format_.c_str(), "hybrid",
-                       wall_seconds, w);
+    w.predicted_seconds = k == 1 ? predicted_ : overlap_bound(k);
+    obs::ledger_record(obs::RoofLane::host, format_.c_str(),
+                       k > 1 ? "hybrid_block" : "hybrid", wall_seconds, w);
   }
 
   index_t n_rows_;
@@ -427,6 +535,7 @@ class HybridBound final : public BoundSpmv<T> {
   offset_t nnz_;
   std::string format_;
   LaunchOptions launch_;
+  obs::RooflineSpec roofs_;
   index_t split_ = 0;
   offset_t device_nnz_ = 0;
   double predicted_ = 0.0;

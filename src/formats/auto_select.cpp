@@ -38,6 +38,10 @@ class AutoPlan final : public FormatPlan<T> {
                   int n_threads) const override {
     return chosen_->spmv_axpby(x, y, alpha, beta, n_threads);
   }
+  void spmmv(std::span<const T> x, std::span<T> y, int k,
+             int n_threads) const override {
+    chosen_->spmmv(x, y, k, n_threads);
+  }
   const Permutation* permutation() const override {
     return chosen_->permutation();
   }

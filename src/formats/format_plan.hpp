@@ -20,6 +20,7 @@
 #include "sparse/csr.hpp"
 #include "sparse/footprint.hpp"
 #include "sparse/permutation.hpp"
+#include "util/error.hpp"
 
 namespace spmvm::formats {
 
@@ -31,6 +32,7 @@ struct FormatInfo {
   bool sorts_rows = false;   // may produce a non-identity row permutation
   bool native_axpby = false; // fused y = β·y + α·A·x kernel available
   bool has_sim_kernel = false;  // gpusim hook (FormatPlan::simulate)
+  bool native_spmmv = false;    // fused block-RHS kernel (FormatPlan::spmmv)
 };
 
 /// Build-time knobs shared by every format. Formats read the fields that
@@ -111,6 +113,27 @@ class FormatPlan {
   virtual bool spmv_axpby(std::span<const T> /*x*/, std::span<T> /*y*/,
                           T /*alpha*/, T /*beta*/, int /*n_threads*/ = 1) const {
     return false;
+  }
+
+  /// Block-RHS product Y = A·X for k row-major interleaved vectors
+  /// (x[i*k + v], y[i*k + v], the core/spmmv layout). The default
+  /// de-interleaves into k single-vector spmv() calls — bit-identical to
+  /// issuing the vectors one by one — so every format accepts block
+  /// launches; formats with a fused block kernel (info().native_spmmv)
+  /// override it and amortize the matrix stream over the k vectors.
+  virtual void spmmv(std::span<const T> x, std::span<T> y, int k,
+                     int n_threads = 1) const {
+    const auto cols = static_cast<std::size_t>(n_cols());
+    const auto rows = static_cast<std::size_t>(n_rows());
+    const auto kk = static_cast<std::size_t>(k > 0 ? k : 0);
+    SPMVM_REQUIRE(kk >= 1 && x.size() >= cols * kk && y.size() >= rows * kk,
+                  "spMMV block too small for k interleaved vectors");
+    std::vector<T> xv(cols), yv(rows);
+    for (std::size_t v = 0; v < kk; ++v) {
+      for (std::size_t i = 0; i < cols; ++i) xv[i] = x[i * kk + v];
+      spmv(std::span<const T>(xv), std::span<T>(yv), n_threads);
+      for (std::size_t i = 0; i < rows; ++i) y[i * kk + v] = yv[i];
+    }
   }
 
   /// Row permutation of the stored matrix; nullptr = identity (kernels

@@ -1,5 +1,6 @@
 #include "formats/plans.hpp"
 
+#include "core/spmmv.hpp"
 #include "sparse/pjds_spmv.hpp"
 #include "sparse/spmv_host.hpp"
 #include "sparse/to_csr.hpp"
@@ -24,6 +25,12 @@ bool CsrPlan<T>::spmv_axpby(std::span<const T> x, std::span<T> y, T alpha,
                             T beta, int n_threads) const {
   spmvm::spmv_axpby(a_, x, y, alpha, beta, n_threads);
   return true;
+}
+
+template <class T>
+void CsrPlan<T>::spmmv(std::span<const T> x, std::span<T> y, int k,
+                       int n_threads) const {
+  spmvm::spmmv(a_, x, y, k, n_threads);
 }
 
 template <class T>
@@ -153,6 +160,12 @@ bool PjdsPlan<T>::spmv_axpby(std::span<const T> x, std::span<T> y, T alpha,
                              T beta, int n_threads) const {
   spmvm::spmv_axpby(a_, x, y, alpha, beta, n_threads);
   return true;
+}
+
+template <class T>
+void PjdsPlan<T>::spmmv(std::span<const T> x, std::span<T> y, int k,
+                        int n_threads) const {
+  spmvm::spmmv(a_, x, y, k, n_threads);
 }
 
 template <class T>

@@ -31,6 +31,8 @@ class CsrPlan final : public FormatPlan<T> {
             int n_threads) const override;
   bool spmv_axpby(std::span<const T> x, std::span<T> y, T alpha, T beta,
                   int n_threads) const override;
+  void spmmv(std::span<const T> x, std::span<T> y, int k,
+             int n_threads) const override;
   std::optional<gpusim::KernelResult> simulate(
       const gpusim::DeviceSpec& dev,
       const gpusim::SimOptions& opt) const override;
@@ -159,6 +161,8 @@ class PjdsPlan final : public FormatPlan<T> {
             int n_threads) const override;
   bool spmv_axpby(std::span<const T> x, std::span<T> y, T alpha, T beta,
                   int n_threads) const override;
+  void spmmv(std::span<const T> x, std::span<T> y, int k,
+             int n_threads) const override;
   const Permutation* permutation() const override { return &a_.perm; }
   bool columns_permuted() const override { return a_.columns_permuted; }
   std::optional<gpusim::KernelResult> simulate(

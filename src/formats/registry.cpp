@@ -99,7 +99,7 @@ template <class T>
 void register_builtins(FormatRegistry<T>& reg) {
   reg.register_format({"csr", "compressed row storage (host reference)",
                        /*sorts_rows=*/false, /*native_axpby=*/true,
-                       /*has_sim_kernel=*/true},
+                       /*has_sim_kernel=*/true, /*native_spmmv=*/true},
                       &build_csr<T>);
   reg.register_format({"ellpack", "ELLPACK rectangle, full-width kernel",
                        false, false, true},
@@ -120,7 +120,7 @@ void register_builtins(FormatRegistry<T>& reg) {
                        false, false, false},
                       &build_bellpack<T>);
   reg.register_format({"pjds", "padded jagged diagonals (the paper's format)",
-                       true, true, true},
+                       true, true, true, /*native_spmmv=*/true},
                       &build_pjds<T>);
   reg.register_format({"auto", "Eq. 1 ranking at measured alpha + probe",
                        true, false, false},

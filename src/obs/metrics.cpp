@@ -15,6 +15,7 @@ struct MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Gauge>> gauges;
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies;
   std::map<std::string, std::string> help;
 };
 
@@ -32,7 +33,72 @@ M& lookup(std::map<std::string, std::unique_ptr<M>>& by_name,
   return *slot;
 }
 
+/// Lock-free running min/max over a relaxed atomic double.
+void atomic_min(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
+
+double LatencySnapshot::quantile_us(double q) const {
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kLatencyBuckets; ++b) {
+    cum += buckets[static_cast<std::size_t>(b)];
+    if (static_cast<double>(cum) >= target)
+      return LatencyHistogram::bucket_bound_us(b);
+  }
+  return LatencyHistogram::bucket_bound_us(kLatencyBuckets - 1);
+}
+
+void LatencyHistogram::observe_us(double us) {
+  if (us < 0.0) us = 0.0;
+  int b = 0;
+  while (b < kLatencyBuckets - 1 && bucket_bound_us(b) < us) ++b;
+  buckets_[static_cast<std::size_t>(b)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // sum via CAS add: a CAS loop keeps the requirement at C++17 atomics
+  // (atomic<double>::fetch_add is C++20).
+  double cur = sum_us_.load(std::memory_order_relaxed);
+  while (!sum_us_.compare_exchange_weak(cur, cur + us,
+                                        std::memory_order_relaxed)) {
+  }
+  atomic_min(min_us_, us);
+  atomic_max(max_us_, us);
+}
+
+LatencySnapshot LatencyHistogram::snapshot() const {
+  LatencySnapshot s;
+  for (int b = 0; b < kLatencyBuckets; ++b)
+    s.buckets[static_cast<std::size_t>(b)] =
+        buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_us = sum_us_.load(std::memory_order_relaxed);
+  const double mn = min_us_.load(std::memory_order_relaxed);
+  s.min_us = s.count == 0 || mn == kNoMin ? 0.0 : mn;
+  s.max_us = max_us_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0.0, std::memory_order_relaxed);
+  min_us_.store(kNoMin, std::memory_order_relaxed);
+  max_us_.store(0.0, std::memory_order_relaxed);
+}
 
 Counter& counter(const std::string& name) {
   MetricsRegistry& r = metrics_registry();
@@ -49,21 +115,34 @@ HistogramMetric& histogram(const std::string& name) {
   return lookup(r.histograms, r.m, name);
 }
 
+LatencyHistogram& latency_histogram(const std::string& name) {
+  MetricsRegistry& r = metrics_registry();
+  return lookup(r.latencies, r.m, name);
+}
+
 std::vector<MetricSample> metrics_snapshot() {
   MetricsRegistry& r = metrics_registry();
   std::lock_guard<std::mutex> lk(r.m);
   std::vector<MetricSample> out;
   for (const auto& [name, c] : r.counters)
     out.push_back({name, MetricKind::counter,
-                   static_cast<double>(c->value()), Histogram()});
+                   static_cast<double>(c->value()), Histogram(), {}});
   for (const auto& [name, g] : r.gauges)
-    out.push_back({name, MetricKind::gauge, g->value(), Histogram()});
+    out.push_back({name, MetricKind::gauge, g->value(), Histogram(), {}});
   for (const auto& [name, h] : r.histograms) {
     MetricSample s;
     s.name = name;
     s.kind = MetricKind::histogram;
     s.hist = h->snapshot();
     s.value = static_cast<double>(s.hist.total());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, l] : r.latencies) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::latency;
+    s.lat = l->snapshot();
+    s.value = static_cast<double>(s.lat.count);
     out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(),
@@ -78,6 +157,7 @@ void reset_metrics() {
   std::lock_guard<std::mutex> lk(r.m);
   for (const auto& [name, c] : r.counters) c->reset();
   for (const auto& [name, h] : r.histograms) h->reset();
+  for (const auto& [name, l] : r.latencies) l->reset();
 }
 
 void reset_all() {
@@ -85,6 +165,7 @@ void reset_all() {
   std::lock_guard<std::mutex> lk(r.m);
   for (const auto& [name, c] : r.counters) c->reset();
   for (const auto& [name, h] : r.histograms) h->reset();
+  for (const auto& [name, l] : r.latencies) l->reset();
   for (const auto& [name, g] : r.gauges) g->reset();
 }
 

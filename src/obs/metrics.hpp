@@ -10,6 +10,7 @@
 // Prometheus-style text format in obs/trace_export.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
@@ -65,12 +66,61 @@ class HistogramMetric {
   Histogram h_;
 };
 
+/// Bucket count of LatencyHistogram: power-of-two upper bounds in
+/// microseconds, 2^0 us .. 2^39 us (~6.4 days).
+inline constexpr int kLatencyBuckets = 40;
+
+/// Point-in-time copy of a LatencyHistogram (metrics_snapshot and the
+/// Prometheus exporter consume this).
+struct LatencySnapshot {
+  std::uint64_t count = 0;
+  double sum_us = 0.0;
+  double min_us = 0.0;  // 0 when empty
+  double max_us = 0.0;
+  std::array<std::uint64_t, kLatencyBuckets> buckets{};
+
+  /// Exact nearest-rank q-quantile over the bucket counts, reported as
+  /// the covering bucket's upper bound in microseconds. Deterministic
+  /// for a given observation multiset (no interpolation).
+  double quantile_us(double q) const;
+};
+
+/// Latency distribution with exponential (power-of-two) bucket bounds.
+/// util/Histogram uses bin size 1 and therefore cannot hold microsecond
+/// magnitudes; this variant spans nine decades in 40 buckets with one
+/// relaxed atomic add per observation (plus running count/sum/min/max),
+/// so hot serving paths can observe without a mutex.
+class LatencyHistogram {
+ public:
+  /// Upper bound of bucket b in microseconds: 2^b.
+  static double bucket_bound_us(int b) {
+    return static_cast<double>(std::uint64_t{1} << b);
+  }
+
+  void observe_us(double us);
+  void observe_seconds(double s) { observe_us(s * 1e6); }
+
+  LatencySnapshot snapshot() const;
+  void reset();
+
+ private:
+  /// min sentinel for "no observation yet" (snapshot reports 0 then).
+  static constexpr double kNoMin = 1e300;
+
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_us_{0.0};
+  std::atomic<double> min_us_{kNoMin};
+  std::atomic<double> max_us_{0.0};
+};
+
 /// Look up (creating on first use) a metric by name. References stay
 /// valid for the process lifetime. Dotted names ("pool.parts") are the
 /// convention; exporters sanitize as needed.
 Counter& counter(const std::string& name);
 Gauge& gauge(const std::string& name);
 HistogramMetric& histogram(const std::string& name);
+LatencyHistogram& latency_histogram(const std::string& name);
 
 /// Attach a human-readable description to a metric name. Exporters emit
 /// it as a `# HELP` line. For labeled metrics ("base{key=value}") register
@@ -81,13 +131,14 @@ void set_metric_help(const std::string& name, const std::string& help);
 /// labeled metrics. Empty when none was registered.
 std::string metric_help(const std::string& name);
 
-enum class MetricKind { counter, gauge, histogram };
+enum class MetricKind { counter, gauge, histogram, latency };
 
 struct MetricSample {
   std::string name;
   MetricKind kind = MetricKind::counter;
-  double value = 0.0;  // counter/gauge value; histogram: sample count
+  double value = 0.0;  // counter/gauge value; histogram/latency: count
   Histogram hist;      // populated for histograms only
+  LatencySnapshot lat;  // populated for latency histograms only
 };
 
 /// All registered metrics, sorted by name.

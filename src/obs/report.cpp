@@ -1,6 +1,7 @@
 #include "obs/report.hpp"
 
 #include <cctype>
+#include <climits>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -345,6 +346,37 @@ bool consume_switch(int* argc, char** argv, const char* flag) {
 bool consume_json_flag(int* argc, char** argv, std::string* path,
                        std::string* err) {
   return consume_value_flag(argc, argv, "--json", path, err);
+}
+
+bool consume_double_flag(int* argc, char** argv, const char* flag,
+                         double* value, std::string* err) {
+  std::string raw;
+  if (!consume_value_flag(argc, argv, flag, &raw, err)) return false;
+  if (raw.empty()) return true;  // flag absent: keep the caller's default
+  char* end = nullptr;
+  const double parsed = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') {
+    *err = std::string(flag) + " expects a number, got '" + raw + "'";
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+bool consume_int_flag(int* argc, char** argv, const char* flag, int* value,
+                      std::string* err) {
+  std::string raw;
+  if (!consume_value_flag(argc, argv, flag, &raw, err)) return false;
+  if (raw.empty()) return true;  // flag absent: keep the caller's default
+  char* end = nullptr;
+  const long parsed = std::strtol(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0' || parsed < INT_MIN ||
+      parsed > INT_MAX) {
+    *err = std::string(flag) + " expects an integer, got '" + raw + "'";
+    return false;
+  }
+  *value = static_cast<int>(parsed);
+  return true;
 }
 
 bool consume_backend_flag(int* argc, char** argv, std::string* backend,

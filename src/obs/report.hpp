@@ -55,6 +55,17 @@ bool consume_switch(int* argc, char** argv, const char* flag);
 bool consume_json_flag(int* argc, char** argv, std::string* path,
                        std::string* err);
 
+/// Numeric `--<flag> <value>` variants built on consume_value_flag —
+/// the shared spelling of knobs like `--qps`, `--duration`, `--slo-ms`,
+/// `--rel-tol` across the benches. *value is only written when the flag
+/// occurs, so initialize it with the caller's default. Returns false
+/// with *err set for a missing or non-numeric value (note the value
+/// must not start with '-': these flags take non-negative numbers).
+bool consume_double_flag(int* argc, char** argv, const char* flag,
+                         double* value, std::string* err);
+bool consume_int_flag(int* argc, char** argv, const char* flag, int* value,
+                      std::string* err);
+
 /// The benches' common `--backend <name>` flag: consume_value_flag for
 /// "--backend", validated against the exec engine's backend names
 /// (host, gpusim, hybrid) plus "auto". *backend is left untouched when

@@ -464,6 +464,32 @@ std::string prometheus_text(const std::vector<MetricSample>& samples) {
            << "\n";
         break;
       }
+      case MetricKind::latency: {
+        // Exponential-bucket latency histograms export as a summary in
+        // microseconds: nearest-rank p50/p95/p99 over the power-of-two
+        // buckets (each quantile reports its covering bucket's upper
+        // bound, so the values are deterministic), _count/_sum, plus
+        // exact min/max gauges.
+        type_header(p.base, "summary", s.name);
+        static constexpr struct {
+          const char* label;
+          double q;
+        } kQuantiles[] = {{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+        for (const auto& [label, q] : kQuantiles)
+          os << p.base << with_quantile(p.labels, label) << " "
+             << prom_value(s.lat.quantile_us(q)) << "\n";
+        os << p.base << "_count" << p.labels << " "
+           << prom_value(static_cast<double>(s.lat.count)) << "\n"
+           << p.base << "_sum" << p.labels << " " << prom_value(s.lat.sum_us)
+           << "\n";
+        type_header(p.base + "_min", "gauge", s.name);
+        os << p.base << "_min" << p.labels << " " << prom_value(s.lat.min_us)
+           << "\n";
+        type_header(p.base + "_max", "gauge", s.name);
+        os << p.base << "_max" << p.labels << " " << prom_value(s.lat.max_us)
+           << "\n";
+        break;
+      }
     }
   }
   return os.str();

@@ -1,0 +1,22 @@
+#include "serve/batcher.hpp"
+
+#include "core/spmmv.hpp"
+
+namespace spmvm::serve {
+
+int target_batch_width(std::size_t scalar_size, double alpha, double nnzr,
+                       int max_k, double min_gain) {
+  if (max_k < 1) return 1;
+  int k = 1;
+  while (k < max_k) {
+    const double bk = spmmv_code_balance(scalar_size, alpha, nnzr, k);
+    const double bk1 = spmmv_code_balance(scalar_size, alpha, nnzr, k + 1);
+    // B(k) is strictly decreasing in k with a shrinking step, so the
+    // first below-threshold step ends the walk.
+    if (bk <= 0.0 || (bk - bk1) / bk < min_gain) break;
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace spmvm::serve

@@ -1,0 +1,25 @@
+// The micro-batcher's width model (DESIGN.md §14).
+//
+// Coalescing k same-matrix requests into one block-RHS spMMV divides
+// the matrix-traffic term of Eq. 1 by k (core/spmmv's extension of the
+// code balance): B(k) = ((s+4)/k + s·α + 2s/nnzr) / 2 bytes/flop. The
+// gain is steeply diminishing — the α and nnzr terms do not shrink —
+// so waiting for ever-wider batches buys latency without bandwidth.
+// target_batch_width() walks B(k) and stops at the last k whose step
+// to k+1 still improves the balance by at least `min_gain` relative:
+// the model-chosen sweet spot the batcher aims for before its max-wait
+// deadline forces a launch.
+#pragma once
+
+#include <cstddef>
+
+namespace spmvm::serve {
+
+/// Smallest k in [1, max_k] at which widening the block by one more
+/// vector improves the spMMV code balance by less than `min_gain`
+/// (relative). alpha is the Eq. 1 RHS-traffic ratio, nnzr the average
+/// non-zeros per row. Deterministic in its inputs.
+int target_batch_width(std::size_t scalar_size, double alpha, double nnzr,
+                       int max_k, double min_gain);
+
+}  // namespace spmvm::serve

@@ -1,0 +1,129 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace spmvm::serve {
+
+namespace {
+
+obs::Gauge& depth_gauge() {
+  static obs::Gauge& g = obs::gauge("serve.queue_depth");
+  return g;
+}
+
+}  // namespace
+
+RequestQueue::RequestQueue(int capacity, int watermark)
+    : capacity_(std::max(1, capacity)),
+      watermark_(watermark >= 1 && watermark <= std::max(1, capacity)
+                     ? watermark
+                     : std::max(1, capacity)) {
+  static const bool help = [] {
+    obs::set_metric_help("serve.queue_depth",
+                         "Requests admitted but not yet dequeued");
+    obs::set_metric_help("serve.accepted",
+                         "Requests admitted by the serve queue");
+    obs::set_metric_help(
+        "serve.rejected_full",
+        "Requests shed by admission control (depth at watermark)");
+    obs::set_metric_help("serve.rejected_shutdown",
+                         "Requests rejected after shutdown began");
+    return true;
+  }();
+  (void)help;
+}
+
+Admit RequestQueue::push(std::shared_ptr<Request> r) {
+  static obs::Counter& c_accepted = obs::counter("serve.accepted");
+  static obs::Counter& c_full = obs::counter("serve.rejected_full");
+  static obs::Counter& c_shut = obs::counter("serve.rejected_shutdown");
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (shutdown_) {
+      c_shut.add();
+      return Admit::rejected_shutdown;
+    }
+    if (static_cast<int>(q_.size()) >= watermark_) {
+      c_full.add();
+      return Admit::rejected_full;
+    }
+    r->enqueue_time = Clock::now();
+    q_.push_back(std::move(r));
+    ++push_seq_;
+    depth_gauge().set(static_cast<double>(q_.size()));
+  }
+  c_accepted.add();
+  cv_.notify_all();
+  return Admit::accepted;
+}
+
+std::shared_ptr<Request> RequestQueue::pop() {
+  std::unique_lock<std::mutex> lk(m_);
+  cv_.wait(lk, [&] { return shutdown_ || !q_.empty(); });
+  if (q_.empty()) return nullptr;  // shut down and drained
+  std::shared_ptr<Request> r = std::move(q_.front());
+  q_.pop_front();
+  depth_gauge().set(static_cast<double>(q_.size()));
+  r->dequeue_time = Clock::now();
+  return r;
+}
+
+int RequestQueue::pop_matching(const std::string& matrix, int max_n,
+                               std::vector<std::shared_ptr<Request>>* out) {
+  if (max_n <= 0) return 0;
+  std::vector<std::shared_ptr<Request>> taken;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    for (auto it = q_.begin(); it != q_.end() &&
+                               static_cast<int>(taken.size()) < max_n;) {
+      if ((*it)->matrix == matrix) {
+        taken.push_back(std::move(*it));
+        it = q_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    depth_gauge().set(static_cast<double>(q_.size()));
+  }
+  const Clock::time_point now = Clock::now();
+  for (auto& r : taken) {
+    r->dequeue_time = now;
+    out->push_back(std::move(r));
+  }
+  return static_cast<int>(taken.size());
+}
+
+std::uint64_t RequestQueue::push_seq() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return push_seq_;
+}
+
+bool RequestQueue::wait_for_push(std::uint64_t seen,
+                                 Clock::time_point deadline) {
+  std::unique_lock<std::mutex> lk(m_);
+  cv_.wait_until(lk, deadline,
+                 [&] { return shutdown_ || push_seq_ != seen; });
+  return push_seq_ != seen;
+}
+
+void RequestQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::is_shut_down() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return shutdown_;
+}
+
+int RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return static_cast<int>(q_.size());
+}
+
+}  // namespace spmvm::serve

@@ -1,0 +1,81 @@
+// Bounded MPMC admission queue of the serving layer (DESIGN.md §14).
+//
+// Admission control is load shedding at the door: once the depth
+// reaches the watermark, push() rejects with a reason instead of
+// blocking the client or growing without bound — the server stays
+// inside the regime where its batching model is valid. The queue also
+// provides the two primitives the micro-batcher needs: pop_matching()
+// to coalesce same-matrix requests out of FIFO order, and
+// wait_for_push() so a worker holding a partial batch can wait for
+// more arrivals up to its batching deadline.
+//
+// Counters: serve.accepted, serve.rejected_full, serve.rejected_shutdown.
+// Gauge: serve.queue_depth.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace spmvm::serve {
+
+/// Outcome of RequestQueue::push.
+enum class Admit : std::uint8_t { accepted, rejected_full, rejected_shutdown };
+
+class RequestQueue {
+ public:
+  /// `watermark` is the admission threshold (depth at which new pushes
+  /// are shed); values < 1 or > capacity clamp to `capacity`.
+  explicit RequestQueue(int capacity, int watermark = 0);
+
+  /// Admit or shed `r`. On `accepted` the queue owns a reference and
+  /// stamps r->enqueue_time; on rejection the caller resolves the
+  /// ticket itself. Thread-safe.
+  Admit push(std::shared_ptr<Request> r);
+
+  /// Block until a request is available or the queue is shut down and
+  /// drained; returns nullptr only in the latter case (worker exit
+  /// signal). Stamps dequeue_time.
+  std::shared_ptr<Request> pop();
+
+  /// Remove up to `max_n` queued requests for `matrix` (FIFO among the
+  /// matches), append them to *out with dequeue_time stamped. Returns
+  /// the number taken. Never blocks.
+  int pop_matching(const std::string& matrix, int max_n,
+                   std::vector<std::shared_ptr<Request>>* out);
+
+  /// Monotone count of successful pushes, for wait_for_push().
+  std::uint64_t push_seq() const;
+
+  /// Block until push_seq() != seen, shutdown, or `deadline`. Returns
+  /// true when a new push arrived (the caller re-scans with
+  /// pop_matching), false on deadline/shutdown.
+  bool wait_for_push(std::uint64_t seen, Clock::time_point deadline);
+
+  /// Stop admitting (push → rejected_shutdown). Queued requests keep
+  /// draining through pop(); once empty, pop() returns nullptr.
+  void shutdown();
+
+  bool is_shut_down() const;
+  int depth() const;
+  int capacity() const { return capacity_; }
+  int watermark() const { return watermark_; }
+
+ private:
+  const int capacity_;
+  const int watermark_;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Request>> q_;
+  std::uint64_t push_seq_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace spmvm::serve

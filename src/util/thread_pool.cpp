@@ -42,10 +42,14 @@ struct ThreadPool::State {
   /// Returns the number of parts this thread executed (imbalance gauge).
   int execute_parts(void (*fn)(void*, int), void* c, int n) {
     static obs::Counter& c_parts = obs::counter("pool.parts");
+    static obs::Gauge& g_queued = obs::gauge("pool.queued_parts");
     int mine = 0;
     for (;;) {
       const int part = next_part.fetch_add(1, std::memory_order_relaxed);
       if (part >= n) return mine;
+      // Unclaimed parts of the current broadcast; reaches 0 when the
+      // last part is claimed (not when it finishes).
+      g_queued.set(static_cast<double>(std::max(0, n - part - 1)));
       ++mine;
       c_parts.add();
       g_in_pool_task = true;
@@ -63,6 +67,7 @@ struct ThreadPool::State {
   }
 
   void worker_loop() {
+    static obs::Gauge& g_active = obs::gauge("pool.active_workers");
     std::uint64_t seen = 0;
     std::unique_lock<std::mutex> lk(m);
     for (;;) {
@@ -72,7 +77,7 @@ struct ThreadPool::State {
       auto* fn = invoke;
       auto* c = ctx;
       const int n = n_parts;
-      ++running;
+      g_active.set(static_cast<double>(++running));
       lk.unlock();
       {
         // One span per broadcast received: the worker's busy interval.
@@ -80,7 +85,8 @@ struct ThreadPool::State {
         execute_parts(fn, c, n);
       }
       lk.lock();
-      if (--running == 0) done_cv.notify_all();
+      g_active.set(static_cast<double>(--running));
+      if (running == 0) done_cv.notify_all();
     }
   }
 };
@@ -114,6 +120,15 @@ void ThreadPool::run_impl(int n_parts, void (*invoke)(void*, int), void* ctx) {
   static obs::Counter& c_contended = obs::counter("pool.submit_contended");
   static obs::Gauge& g_workers = obs::gauge("pool.workers");
   static obs::Gauge& g_caller_share = obs::gauge("pool.caller_part_share");
+  static const bool help = [] {
+    obs::set_metric_help("pool.active_workers",
+                         "Pool workers currently executing a broadcast "
+                         "(excludes the submitting caller)");
+    obs::set_metric_help("pool.queued_parts",
+                         "Unclaimed parts of the current pool broadcast");
+    return true;
+  }();
+  (void)help;
 
   // A failing try_lock means another external submitter holds the pool:
   // the closest thing this design has to queue depth.

@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dist/spmv_modes.hpp"
@@ -125,15 +126,85 @@ TEST(Metrics, SnapshotIsSortedAndTyped) {
   EXPECT_TRUE(saw_counter);
 }
 
+TEST(Metrics, LatencyHistogramBucketsCountAndExtrema) {
+  auto& l = obs::latency_histogram("test.lat_a");
+  l.reset();
+  EXPECT_EQ(&obs::latency_histogram("test.lat_a"), &l);  // stable reference
+  l.observe_us(1.0);
+  l.observe_us(3.0);
+  l.observe_us(100.0);
+  l.observe_us(1000.0);
+  l.observe_us(1e6);
+  const obs::LatencySnapshot s = l.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum_us, 1.0 + 3.0 + 100.0 + 1000.0 + 1e6);
+  EXPECT_DOUBLE_EQ(s.min_us, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 1e6);
+  // Power-of-two bucket bounds: 3 -> 4, 100 -> 128, 1000 -> 1024.
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[7], 1u);
+  EXPECT_EQ(s.buckets[10], 1u);
+  EXPECT_EQ(s.buckets[20], 1u);
+  // Nearest-rank quantiles report the covering bucket's upper bound.
+  EXPECT_DOUBLE_EQ(s.quantile_us(0.5), 128.0);
+  EXPECT_DOUBLE_EQ(s.quantile_us(0.99), 1048576.0);
+}
+
+TEST(Metrics, LatencyHistogramResetAndEdgeCases) {
+  auto& l = obs::latency_histogram("test.lat_b");
+  l.reset();
+  const obs::LatencySnapshot empty = l.snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.min_us, 0.0);  // no sentinel leak when empty
+  EXPECT_DOUBLE_EQ(empty.quantile_us(0.5), 0.0);
+  l.observe_us(-5.0);  // clamped to zero, lands in the first bucket
+  l.observe_seconds(1e-3);  // 1000 us
+  obs::LatencySnapshot s = l.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[10], 1u);
+  EXPECT_DOUBLE_EQ(s.min_us, 0.0);
+  l.reset();
+  EXPECT_EQ(l.snapshot().count, 0u);
+  // Overflow magnitudes saturate into the last bucket.
+  l.observe_us(1e30);
+  s = l.snapshot();
+  EXPECT_EQ(s.buckets[obs::kLatencyBuckets - 1], 1u);
+  obs::reset_metrics();
+  EXPECT_EQ(l.snapshot().count, 0u);  // registry reset covers latencies
+}
+
+TEST(Metrics, LatencyHistogramIsThreadSafe) {
+  auto& l = obs::latency_histogram("test.lat_mt");
+  l.reset();
+  constexpr int kThreads = 4;
+  constexpr int kEach = 2000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kEach; ++i)
+        l.observe_us(static_cast<double>(1 + (t * kEach + i) % 500));
+    });
+  for (auto& t : ts) t.join();
+  const obs::LatencySnapshot s = l.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads * kEach));
+  std::uint64_t bucket_total = 0;
+  for (const auto b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+  EXPECT_DOUBLE_EQ(s.min_us, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 500.0);
+}
+
 // ---- Prometheus text ------------------------------------------------------
 
 TEST(PrometheusExport, FormatsCounterGaugeHistogram) {
   std::vector<obs::MetricSample> samples;
-  samples.push_back({"kernel.bytes", obs::MetricKind::counter, 1024.0, {}});
-  samples.push_back({"pool.workers", obs::MetricKind::gauge, 7.0, {}});
+  samples.push_back({"kernel.bytes", obs::MetricKind::counter, 1024.0, {}, {}});
+  samples.push_back({"pool.workers", obs::MetricKind::gauge, 7.0, {}, {}});
   Histogram h;
   h.add(2, 3);  // three observations of value 2
-  samples.push_back({"row.len", obs::MetricKind::histogram, 3.0, h});
+  samples.push_back({"row.len", obs::MetricKind::histogram, 3.0, h, {}});
 
   const std::string text = obs::prometheus_text(samples);
   EXPECT_NE(text.find("# TYPE spmvm_kernel_bytes counter\n"),
@@ -162,11 +233,11 @@ TEST(PrometheusExport, FormatsCounterGaugeHistogram) {
 TEST(PrometheusExport, LabeledCountersUseLabelSyntax) {
   std::vector<obs::MetricSample> samples;
   samples.push_back(
-      {"comm.bytes_sent{peer=0}", obs::MetricKind::counter, 128.0, {}});
+      {"comm.bytes_sent{peer=0}", obs::MetricKind::counter, 128.0, {}, {}});
   samples.push_back(
-      {"comm.bytes_sent{peer=1}", obs::MetricKind::counter, 256.0, {}});
+      {"comm.bytes_sent{peer=1}", obs::MetricKind::counter, 256.0, {}, {}});
   samples.push_back(
-      {"comm.bytes_recv{peer=0}", obs::MetricKind::counter, 64.0, {}});
+      {"comm.bytes_recv{peer=0}", obs::MetricKind::counter, 64.0, {}, {}});
 
   const std::string text = obs::prometheus_text(samples);
   EXPECT_NE(text.find("spmvm_comm_bytes_sent{peer=\"0\"} 128\n"),
@@ -195,8 +266,8 @@ TEST(PrometheusExport, LiveRegistrySnapshotSerializes) {
 TEST(PrometheusExport, HelpLinesPrecedeTypeWhenRegistered) {
   obs::set_metric_help("test.documented", "What it counts\nsecond line \\x");
   std::vector<obs::MetricSample> samples;
-  samples.push_back({"test.documented", obs::MetricKind::counter, 1.0, {}});
-  samples.push_back({"test.undocumented", obs::MetricKind::counter, 2.0, {}});
+  samples.push_back({"test.documented", obs::MetricKind::counter, 1.0, {}, {}});
+  samples.push_back({"test.undocumented", obs::MetricKind::counter, 2.0, {}, {}});
 
   const std::string text = obs::prometheus_text(samples);
   // HELP escaping: backslash and newline only (quotes stay literal).
@@ -214,7 +285,7 @@ TEST(PrometheusExport, HelpFallsBackToBaseNameForLabeledMetrics) {
   obs::set_metric_help("test.labeled_help", "per-peer traffic");
   std::vector<obs::MetricSample> samples;
   samples.push_back(
-      {"test.labeled_help{peer=3}", obs::MetricKind::counter, 8.0, {}});
+      {"test.labeled_help{peer=3}", obs::MetricKind::counter, 8.0, {}, {}});
   const std::string text = obs::prometheus_text(samples);
   EXPECT_NE(text.find("# HELP spmvm_test_labeled_help per-peer traffic\n"),
             std::string::npos)
@@ -226,7 +297,7 @@ TEST(PrometheusExport, HistogramsExposeExactQuantiles) {
   Histogram h;
   for (int v = 1; v <= 100; ++v) h.add(v);
   std::vector<obs::MetricSample> samples;
-  samples.push_back({"test.quant", obs::MetricKind::histogram, 100.0, h});
+  samples.push_back({"test.quant", obs::MetricKind::histogram, 100.0, h, {}});
 
   const std::string text = obs::prometheus_text(samples);
   EXPECT_NE(text.find("spmvm_test_quant{quantile=\"0.5\"} 50\n"),
@@ -239,12 +310,36 @@ TEST(PrometheusExport, HistogramsExposeExactQuantiles) {
   EXPECT_NE(text.find("spmvm_test_quant_count 100\n"), std::string::npos);
 }
 
+TEST(PrometheusExport, LatencyHistogramsExportAsSummaries) {
+  auto& l = obs::latency_histogram("test.lat_prom");
+  l.reset();
+  for (int i = 0; i < 10; ++i) l.observe_us(100.0);  // bucket bound 128
+  obs::MetricSample s;
+  s.name = "test.lat_prom";
+  s.kind = obs::MetricKind::latency;
+  s.lat = l.snapshot();
+  s.value = static_cast<double>(s.lat.count);
+  const std::string text = obs::prometheus_text({s});
+  EXPECT_NE(text.find("# TYPE spmvm_test_lat_prom summary"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("spmvm_test_lat_prom{quantile=\"0.5\"} 128\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spmvm_test_lat_prom{quantile=\"0.99\"} 128\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spmvm_test_lat_prom_count 10\n"), std::string::npos);
+  EXPECT_NE(text.find("spmvm_test_lat_prom_sum 1000\n"), std::string::npos);
+  EXPECT_NE(text.find("spmvm_test_lat_prom_min 100\n"), std::string::npos);
+  EXPECT_NE(text.find("spmvm_test_lat_prom_max 100\n"), std::string::npos);
+  l.reset();
+}
+
 TEST(PrometheusExport, LabeledHistogramQuantilesMergeLabelSets) {
   Histogram h;
   h.add(4, 2);
   std::vector<obs::MetricSample> samples;
   samples.push_back(
-      {"test.lq{format=pjds}", obs::MetricKind::histogram, 2.0, h});
+      {"test.lq{format=pjds}", obs::MetricKind::histogram, 2.0, h, {}});
   const std::string text = obs::prometheus_text(samples);
   // The quantile label joins the existing set inside one brace pair.
   EXPECT_NE(
@@ -256,7 +351,7 @@ TEST(PrometheusExport, LabeledHistogramQuantilesMergeLabelSets) {
 TEST(PrometheusExport, LabelValuesAreEscaped) {
   std::vector<obs::MetricSample> samples;
   samples.push_back({"test.esc{path=a\\b\"c\nd}",
-                     obs::MetricKind::counter, 1.0, {}});
+                     obs::MetricKind::counter, 1.0, {}, {}});
   const std::string text = obs::prometheus_text(samples);
   // Exposition format: backslash, quote and newline escaped in values.
   EXPECT_NE(text.find("spmvm_test_esc{path=\"a\\\\b\\\"c\\nd\"} 1\n"),

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
 #include <tuple>
 
+#include "exec/engine.hpp"
+#include "formats/registry.hpp"
 #include "perfmodel/balance.hpp"
 #include "test_helpers.hpp"
 #include "util/error.hpp"
@@ -99,6 +102,92 @@ TEST(Spmmv, RejectsBadBlocks) {
   EXPECT_THROW(
       spmmv(a, std::span<const double>(x), std::span<double>(y), 4), Error);
 }
+
+/// Bind + one block product on `backend`, original basis, deterministic
+/// opts (mirrors test_exec_backends::product for k vectors).
+std::vector<double> block_product(exec::Engine<double>& eng,
+                                  const char* backend, const Csr<double>& a,
+                                  const char* format,
+                                  const std::vector<double>& xblk, int k) {
+  formats::PlanOptions opts;
+  opts.permute_columns = PermuteColumns::no;
+  opts.probe = false;
+  const auto bound = eng.bind(backend, a, format, opts, {});
+  std::vector<double> y(static_cast<std::size_t>(a.n_rows) *
+                            static_cast<std::size_t>(k),
+                        -1.0);
+  bound->apply_block(std::span<const double>(xblk), std::span<double>(y), k);
+  return y;
+}
+
+class SpmmvBackendSweep : public ::testing::TestWithParam<int /*k*/> {};
+
+TEST_P(SpmmvBackendSweep, BitIdenticalAcrossBackendsForEveryFormat) {
+  const int k = GetParam();
+  const auto a = random_csr<double>(64, 64, 0, 9, 11);
+  const auto xblk = random_vector<double>(64 * k, 12);
+
+  exec::Engine<double> eng;
+  for (const formats::FormatInfo& info : formats::registry<double>().list()) {
+    SCOPED_TRACE(std::string(info.name) + " k=" + std::to_string(k));
+    const auto host = block_product(eng, "host", a, info.name, xblk, k);
+    const auto sim = block_product(eng, "gpusim", a, info.name, xblk, k);
+    const auto hyb = block_product(eng, "hybrid", a, info.name, xblk, k);
+    for (std::size_t i = 0; i < host.size(); ++i) {
+      EXPECT_EQ(host[i], sim[i]) << "entry " << i;
+      EXPECT_EQ(host[i], hyb[i]) << "entry " << i;
+    }
+    // The batched block equals k individual products bit-for-bit: every
+    // backend routes all widths through the same per-row kernel.
+    for (int v = 0; v < k; ++v) {
+      std::vector<double> xv(64);
+      for (std::size_t i = 0; i < xv.size(); ++i)
+        xv[i] = xblk[i * static_cast<std::size_t>(k) +
+                     static_cast<std::size_t>(v)];
+      const auto yv = block_product(eng, "host", a, info.name, xv, 1);
+      for (std::size_t i = 0; i < yv.size(); ++i)
+        EXPECT_EQ(host[i * static_cast<std::size_t>(k) +
+                       static_cast<std::size_t>(v)],
+                  yv[i])
+            << "vector " << v << " row " << i;
+    }
+  }
+}
+
+TEST_P(SpmmvBackendSweep, EmptyRowsAtSplitBoundary) {
+  // 8 rows, rows 3–5 empty; a 50% nnz split lands inside the empty
+  // band, so a hybrid part ends (and the other begins) on empty rows
+  // (same shape as test_exec_backends::HybridEmptyRowsAtSplitBoundary).
+  const int k = GetParam();
+  Csr<double> a;
+  a.n_rows = 8;
+  a.n_cols = 8;
+  a.row_ptr = {0, 2, 4, 6, 6, 6, 6, 9, 12};
+  a.col_idx = {0, 1, 1, 2, 2, 3, 0, 4, 7, 1, 5, 6};
+  a.val = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  a.validate();
+  const auto xblk = random_vector<double>(8 * k, 13);
+
+  exec::Engine<double> eng;
+  const auto host = block_product(eng, "host", a, "csr", xblk, k);
+  const auto sim = block_product(eng, "gpusim", a, "csr", xblk, k);
+  for (std::size_t i = 0; i < host.size(); ++i)
+    EXPECT_EQ(host[i], sim[i]) << "entry " << i;
+  for (const double share : {0.0, 0.5, 1.0}) {
+    SCOPED_TRACE(share);
+    exec::LaunchOptions launch;
+    launch.device_share = share;
+    const auto bound = eng.bind("hybrid", a, "csr", {}, launch);
+    std::vector<double> y(static_cast<std::size_t>(8 * k), -1.0);
+    bound->apply_block(std::span<const double>(xblk), std::span<double>(y),
+                       k);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      EXPECT_EQ(y[i], host[i]) << "entry " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SpmmvBackendSweep,
+                         ::testing::Values(1, 2, 8));
 
 TEST(Spmmv, RejectsNonPositiveKForEveryFormat) {
   // The k-interleaved stride contract (x[i*k + v]) must be asserted

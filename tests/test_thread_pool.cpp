@@ -4,12 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sparse/pjds.hpp"
 #include "sparse/pjds_spmv.hpp"
 #include "matgen/generators.hpp"
@@ -86,6 +90,38 @@ TEST(ThreadPool, ConcurrentExternalSubmissionsAreSerializedSafely) {
   for (int t = 0; t < kThreads; ++t)
     for (std::size_t i = 0; i < kN; ++i)
       ASSERT_EQ(results[t][i], static_cast<double>(i) * (t + 1));
+}
+
+TEST(ThreadPool, ExportsActivityGauges) {
+  auto& g_active = obs::gauge("pool.active_workers");
+  auto& g_queued = obs::gauge("pool.queued_parts");
+
+  // Each part spins until a second part has *started*: the caller's
+  // part can only be released by a pool worker entering one, so at
+  // that moment the active-workers gauge must read >= 1.
+  std::atomic<int> inside{0};
+  std::mutex mx;
+  double active_seen = 0.0;
+  ThreadPool::instance().run(4, [&](int) {
+    inside.fetch_add(1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (inside.load() < 2 && std::chrono::steady_clock::now() < deadline)
+      std::this_thread::yield();
+    std::lock_guard<std::mutex> lk(mx);
+    active_seen = std::max(active_seen, g_active.value());
+  });
+  EXPECT_GE(active_seen, 1.0);
+
+  // The last claim zeroes the queued-parts gauge, and every worker
+  // re-parks after the broadcast, returning the active gauge to zero.
+  EXPECT_DOUBLE_EQ(g_queued.value(), 0.0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (g_active.value() != 0.0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  EXPECT_DOUBLE_EQ(g_active.value(), 0.0);
 }
 
 TEST(ParallelFor, NoDegenerateChunksWhenOversubscribed) {
